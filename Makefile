@@ -1,0 +1,38 @@
+# Convenience targets for the rtworm reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench reproduce quick-reproduce fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every table and figure as benchmarks (writes nothing).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full paper reproduction into out/ (tables, figures+SVG, sweeps,
+# crosscheck, summary).
+reproduce:
+	$(GO) run ./cmd/reproduce -out out
+
+quick-reproduce:
+	$(GO) run ./cmd/reproduce -out out -quick
+
+fuzz:
+	$(GO) test -fuzz=FuzzDiagram -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzDecodeSet -fuzztime=30s ./internal/stream/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -rf out cover.out

@@ -1,0 +1,101 @@
+// Command figures regenerates the paper's figure examples:
+//
+//	figures -fig 2         # priority inversion, non-preemptive vs preemptive
+//	figures -fig 4         # U calculation, direct blocking (U = 26)
+//	figures -fig 6         # U calculation, indirect blocking (U = 22)
+//	figures -fig example   # the full §4.4 worked example (Figures 3, 7, 8, 9)
+//	figures -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exp"
+	"repro/internal/viz"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 4, 6, example, all")
+	cycles := flag.Int("cycles", 10000, "simulated flit times for figure 2")
+	svgDir := flag.String("svgdir", "", "also write the timing diagrams as SVG files into this directory")
+	flag.Parse()
+
+	if err := run(*fig, *cycles); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	if *svgDir != "" {
+		if err := writeSVGs(*svgDir); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSVGs renders the four timing diagrams as standalone SVGs.
+func writeSVGs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fig4, err := exp.Figure4Diagram()
+	if err != nil {
+		return err
+	}
+	fig6, err := exp.Figure6Diagram()
+	if err != nil {
+		return err
+	}
+	initial, final, err := exp.WorkedExampleDiagrams()
+	if err != nil {
+		return err
+	}
+	files := []struct {
+		name, svg string
+	}{
+		{"figure4.svg", viz.TimingDiagramSVG(fig4, "Figure 4 — U calculation for a direct blocking (U = 26)", 0)},
+		{"figure6.svg", viz.TimingDiagramSVG(fig6, "Figure 6 — U calculation for an indirect blocking (U = 22)", 0)},
+		{"figure7.svg", viz.TimingDiagramSVG(initial, "Figure 7 — initial timing diagram of HP_4 (7 free slots)", 0)},
+		{"figure9.svg", viz.TimingDiagramSVG(final, "Figure 9 — final timing diagram of HP_4 (U_4 = 33)", 0)},
+	}
+	for _, f := range files {
+		path := filepath.Join(dir, f.name)
+		if err := os.WriteFile(path, []byte(f.svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func run(fig string, cycles int) error {
+	type gen func() (*exp.FigureReport, error)
+	gens := map[string]gen{
+		"2":       func() (*exp.FigureReport, error) { return exp.Figure2(cycles) },
+		"4":       exp.Figure4,
+		"6":       exp.Figure6,
+		"example": exp.WorkedExample,
+	}
+	var order []string
+	if fig == "all" {
+		order = []string{"2", "4", "6", "example"}
+	} else {
+		if _, ok := gens[fig]; !ok {
+			return fmt.Errorf("unknown figure %q (want 2, 4, 6, example, all)", fig)
+		}
+		order = []string{fig}
+	}
+	for i, k := range order {
+		rep, err := gens[k]()
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(rep.Body)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAllFigures(t *testing.T) {
+	if err := run("all", 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("bogus", 3000); err == nil {
+		t.Fatal("accepted unknown figure")
+	}
+}
+
+func TestWriteSVGs(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSVGs(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure4.svg", "figure6.svg", "figure7.svg", "figure9.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 1000 {
+			t.Fatalf("%s suspiciously small (%d bytes)", name, len(data))
+		}
+	}
+}

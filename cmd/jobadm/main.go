@@ -1,0 +1,94 @@
+// Command jobadm plays the host processor of the paper's system model:
+// it reads an admission scenario (a machine plus a queue of real-time
+// jobs) and admits jobs in order, placing each job's tasks on free
+// nodes and accepting it only when the combined traffic passes the
+// message-stream feasibility test.
+//
+// Usage:
+//
+//	jobadm scenario.json
+//
+// Scenario format:
+//
+//	{
+//	  "topology": {"kind": "mesh2d", "w": 6, "h": 6},
+//	  "jobs": [
+//	    {"name": "radar", "tasks": 4,
+//	     "demands": [{"from": 0, "to": 1, "priority": 3, "period": 50, "length": 8}]},
+//	    ...
+//	  ]
+//	}
+//
+// The exit status is 0 when every job was admitted, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/jobs"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-stream bounds of the final system")
+	flag.Parse()
+	if err := run(*verbose, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "jobadm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(verbose bool, args []string) error {
+	var in io.Reader = os.Stdin
+	if len(args) > 1 {
+		return fmt.Errorf("at most one scenario file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	ctl, queue, err := jobs.DecodeFile(in)
+	if err != nil {
+		return err
+	}
+	rejected := 0
+	for _, j := range queue {
+		v, err := ctl.Admit(j)
+		if err != nil {
+			return err
+		}
+		if v.Admitted {
+			fmt.Printf("ADMIT  %-16s %2d tasks, %2d nodes left\n", j.Name, j.Graph.Tasks, v.FreeAfter)
+		} else {
+			rejected++
+			fmt.Printf("REJECT %-16s (%s)\n", j.Name, v.Reason)
+		}
+	}
+	fmt.Println()
+	fmt.Print(ctl.Utilization())
+	rep, err := ctl.Report()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final system feasible: %v\n", rep.Feasible)
+	if verbose {
+		set, owners, err := ctl.Snapshot()
+		if err != nil {
+			return err
+		}
+		for i, v := range rep.Verdicts {
+			s := set.Get(v.ID)
+			fmt.Printf("  %-16s stream %-3d prio %-2d U=%-5d D=%-5d\n", owners[i], i, s.Priority, v.U, v.Deadline)
+		}
+	}
+	if rejected > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunScenarioErrors(t *testing.T) {
+	if err := run(false, []string{"a", "b"}); err == nil {
+		t.Error("accepted two files")
+	}
+	if err := run(false, []string{"/nonexistent.json"}); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+// Note: the repository scenario contains a deliberately infeasible job,
+// so run() would os.Exit(1); the full flow is covered through
+// internal/jobs. Here we only exercise an all-feasible scenario.
+func TestRunFeasibleScenario(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	writeFile(t, path, `{
+		"topology": {"kind": "mesh2d", "w": 5, "h": 5},
+		"jobs": [
+			{"name": "a", "tasks": 3, "demands": [
+				{"from": 0, "to": 1, "priority": 2, "period": 60, "length": 6},
+				{"from": 1, "to": 2, "priority": 2, "period": 60, "length": 6}
+			]},
+			{"name": "b", "tasks": 2, "demands": [
+				{"from": 0, "to": 1, "priority": 1, "period": 90, "length": 10}
+			]}
+		]
+	}`)
+	if err := run(true, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

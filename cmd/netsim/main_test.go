@@ -1,0 +1,42 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseArbiter(t *testing.T) {
+	for _, name := range []string{"preemptive", "nonpreemptive-fifo", "nonpreemptive-priority", "li"} {
+		k, err := parseArbiter(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != name {
+			t.Fatalf("%s round-trips to %s", name, k)
+		}
+	}
+	if _, err := parseArbiter("bogus"); err == nil {
+		t.Fatal("accepted bogus arbiter")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	file := filepath.Join("..", "..", "testdata", "paper_example.json")
+	opts := simOptions{dropLate: true, jitter: 3, deadlock: 100}
+	if err := run(2000, 100, "preemptive", 2, false, true, true, true, opts, []string{file}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	file := filepath.Join("..", "..", "testdata", "paper_example.json")
+	if err := run(2000, 100, "bogus", 2, false, false, false, false, simOptions{}, []string{file}); err == nil {
+		t.Error("accepted bogus arbiter")
+	}
+	if err := run(2000, 100, "preemptive", 2, false, false, false, false, simOptions{}, []string{"a", "b"}); err == nil {
+		t.Error("accepted two files")
+	}
+	if err := run(2000, 100, "preemptive", 2, false, false, false, false, simOptions{}, []string{"/nope.json"}); err == nil {
+		t.Error("accepted missing file")
+	}
+}

@@ -1,0 +1,182 @@
+// Command rtworm runs the paper's message stream feasibility test on a
+// JSON-described stream set: it computes every stream's delay upper
+// bound U and succeeds iff U <= D for all streams.
+//
+// Usage:
+//
+//	rtworm [-hp] [-diagram N] [-horizon H] [file.json]
+//
+// With no file, the stream set is read from standard input. The JSON
+// format is:
+//
+//	{
+//	  "topology": {"kind": "mesh2d", "w": 10, "h": 10},
+//	  "streams": [
+//	    {"srcXY": [7,3], "dstXY": [7,7], "priority": 5, "period": 15, "length": 4, "deadline": 15},
+//	    ...
+//	  ]
+//	}
+//
+// The exit status is 0 when the set is feasible and 1 when it is not
+// (or on error), so the tool can gate admission in scripts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+func main() {
+	showHP := flag.Bool("hp", false, "print every stream's HP set and blocking dependency graph")
+	diagram := flag.Int("diagram", -1, "render the timing diagram of the given stream")
+	horizon := flag.Int("horizon", 0, "diagram horizon in flit times (default: the stream's deadline)")
+	sens := flag.Int("sens", -1, "sensitivity analysis for the given stream: max message length and min period keeping the set feasible")
+	interf := flag.Int("interference", -1, "marginal interference breakdown for the given stream")
+	doAssign := flag.Bool("assign", false, "when the set is infeasible, search for a feasible priority assignment")
+	flag.Parse()
+
+	if err := run(*showHP, *diagram, *horizon, *sens, *interf, *doAssign, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "rtworm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(showHP bool, diagram, horizon, sens, interf int, doAssign bool, args []string) error {
+	var in io.Reader = os.Stdin
+	if len(args) > 1 {
+		return fmt.Errorf("at most one input file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	set, err := stream.DecodeSet(in)
+	if err != nil {
+		return err
+	}
+	a, err := core.NewAnalyzer(set)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("topology %s, %d message streams\n\n", set.Topology.Name(), set.Len())
+	if showHP {
+		for i := 0; i < set.Len(); i++ {
+			hp, err := a.HP(stream.ID(i))
+			if err != nil {
+				return err
+			}
+			fmt.Println(hp.String())
+			g, err := a.BDG(stream.ID(i))
+			if err != nil {
+				return err
+			}
+			fmt.Println("  " + g.String())
+		}
+		fmt.Println()
+	}
+
+	rep, err := core.DetermineFeasibility(set)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-6s %-6s %-6s %-6s %-6s %-8s %s\n", "stream", "prio", "T", "C", "L", "D", "U", "verdict")
+	for _, v := range rep.Verdicts {
+		s := set.Get(v.ID)
+		verdict := "ok"
+		u := fmt.Sprintf("%d", v.U)
+		if v.U < 0 {
+			u = "-"
+			verdict = "NO BOUND"
+		} else if !v.Feasible {
+			verdict = "MISSES DEADLINE"
+		}
+		fmt.Printf("M%-7d %-6d %-6d %-6d %-6d %-6d %-8s %s\n",
+			v.ID, s.Priority, s.Period, s.Length, s.Latency, s.Deadline, u, verdict)
+	}
+
+	if diagram >= 0 {
+		id := stream.ID(diagram)
+		if set.Get(id) == nil {
+			return fmt.Errorf("no stream %d", diagram)
+		}
+		h := horizon
+		if h == 0 {
+			h = set.Get(id).Deadline
+		}
+		d, err := a.Diagram(id, h)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ntiming diagram of HP_%d (horizon %d):\n%s", diagram, h, d.Render(0))
+	}
+
+	if interf >= 0 {
+		id := stream.ID(interf)
+		s := set.Get(id)
+		if s == nil {
+			return fmt.Errorf("no stream %d", interf)
+		}
+		rep, err := a.Interference(id, s.Deadline)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(rep.Format())
+	}
+
+	if sens >= 0 {
+		id := stream.ID(sens)
+		s := set.Get(id)
+		if s == nil {
+			return fmt.Errorf("no stream %d", sens)
+		}
+		maxC, err := core.MaxFeasibleLength(set, id, 4*s.Length+64)
+		if err != nil {
+			return err
+		}
+		minT, err := core.MinFeasiblePeriod(set, id, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nsensitivity of M%d (C=%d, T=%d):\n", sens, s.Length, s.Period)
+		fmt.Printf("  max message length keeping the set feasible: %d flits\n", maxC)
+		if minT > 0 {
+			fmt.Printf("  min period keeping the set feasible:        %d flit times\n", minT)
+		} else {
+			fmt.Printf("  the set is infeasible even at the current period\n")
+		}
+	}
+
+	if rep.Feasible {
+		fmt.Println("\nresult: success — every stream meets its deadline")
+		return nil
+	}
+	fmt.Println("\nresult: fail — at least one stream can miss its deadline")
+	if doAssign {
+		res, err := assign.Search(set)
+		if err != nil {
+			return err
+		}
+		if res.Priorities == nil {
+			fmt.Printf("no feasible priority assignment found (%d orderings tested)\n", res.Tested)
+		} else {
+			fmt.Printf("\na feasible priority assignment exists (%d feasibility tests):\n", res.Tested)
+			for i, p := range res.Priorities {
+				fmt.Printf("  M%-3d priority %d -> %d\n", i, set.Get(stream.ID(i)).Priority, p)
+			}
+		}
+	}
+	os.Exit(1)
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func paperFile(t *testing.T) string {
+	t.Helper()
+	// The repository-level testdata file, reached relative to this
+	// package directory.
+	p := filepath.Join("..", "..", "testdata", "paper_example.json")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("missing %s: %v", p, err)
+	}
+	return p
+}
+
+func TestRunFeasibleSet(t *testing.T) {
+	if err := run(true, 4, 50, 1, 4, false, []string{paperFile(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(false, -1, 0, -1, -1, false, []string{"a", "b"}); err == nil {
+		t.Error("accepted two files")
+	}
+	if err := run(false, -1, 0, -1, -1, false, []string{"/nonexistent.json"}); err == nil {
+		t.Error("accepted missing file")
+	}
+	if err := run(false, 99, 0, -1, -1, false, []string{paperFile(t)}); err == nil {
+		t.Error("accepted bad diagram stream")
+	}
+	if err := run(false, -1, 0, 99, -1, false, []string{paperFile(t)}); err == nil {
+		t.Error("accepted bad sensitivity stream")
+	}
+	if err := run(false, -1, 0, -1, 99, false, []string{paperFile(t)}); err == nil {
+		t.Error("accepted bad interference stream")
+	}
+}

@@ -1,0 +1,109 @@
+// Command tables regenerates the paper's evaluation tables (§5).
+//
+// Usage:
+//
+//	tables -table all            # Tables 1-5
+//	tables -table 3              # one table
+//	tables -rule -streams 20     # the |M|/4 priority-level rule sweep
+//	tables -trials 5 -cycles 30000 -seed 1234
+//
+// Each table reports, per priority level, the ratio between actual
+// (simulated) message latencies and the computed delay upper bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+func main() {
+	table := flag.String("table", "all", "paper table number (1-5) or 'all'")
+	rule := flag.Bool("rule", false, "run the |M|/4 priority-level rule sweep instead of tables")
+	streams := flag.Int("streams", 20, "stream count for -rule")
+	maxLevels := flag.Int("maxlevels", 12, "maximum priority levels for -rule")
+	target := flag.Float64("target", 0.9, "top-level ratio target for -rule")
+	trials := flag.Int("trials", 3, "independent trials averaged per table")
+	cycles := flag.Int("cycles", 30000, "simulated flit times per trial")
+	seed := flag.Int64("seed", 0, "base seed override (0: per-table default)")
+	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform, transpose, bit-reversal, hotspot, nearest-neighbor")
+	csv := flag.Bool("csv", false, "emit per-stream CSV rows instead of the formatted table")
+	flag.Parse()
+
+	if err := run(*table, *rule, *streams, *maxLevels, *target, *trials, *cycles, *seed, *pattern, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parsePattern(s string) (workload.Pattern, error) {
+	for _, p := range []workload.Pattern{workload.Uniform, workload.Transpose, workload.BitReversal, workload.Hotspot, workload.NearestNeighbor} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown pattern %q", s)
+}
+
+func run(table string, rule bool, streams, maxLevels int, target float64, trials, cycles int, seed int64, pattern string, csv bool) error {
+	pat, err := parsePattern(pattern)
+	if err != nil {
+		return err
+	}
+	if rule {
+		res, err := exp.RunRuleSweep(streams, target, maxLevels, pick(seed, 42), cycles)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		return nil
+	}
+	var nums []int
+	if table == "all" {
+		nums = []int{1, 2, 3, 4, 5}
+	} else {
+		n, err := strconv.Atoi(table)
+		if err != nil {
+			return fmt.Errorf("bad -table %q", table)
+		}
+		nums = []int{n}
+	}
+	for _, n := range nums {
+		spec, err := exp.PaperTable(n)
+		if err != nil {
+			return err
+		}
+		spec.Trials = trials
+		spec.Cycles = cycles
+		spec.Pattern = pat
+		if pat != workload.Uniform {
+			spec.Name += " [" + pat.String() + " traffic]"
+		}
+		if seed != 0 {
+			spec.Seed = seed
+		}
+		res, err := exp.RunTable(spec)
+		if err != nil {
+			return err
+		}
+		if csv {
+			for trial, t := range res.Trials {
+				fmt.Printf("# %s, trial %d\n%s", spec.Name, trial, t.CSV())
+			}
+		} else {
+			fmt.Println(res.Format())
+		}
+	}
+	return nil
+}
+
+func pick(v, def int64) int64 {
+	if v != 0 {
+		return v
+	}
+	return def
+}

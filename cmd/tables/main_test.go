@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestParsePattern(t *testing.T) {
+	for _, name := range []string{"uniform", "transpose", "bit-reversal", "hotspot", "nearest-neighbor"} {
+		p, err := parsePattern(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != name {
+			t.Fatalf("%s -> %s", name, p)
+		}
+	}
+	if _, err := parsePattern("bogus"); err == nil {
+		t.Fatal("accepted bogus pattern")
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	if err := run("3", false, 0, 0, 0, 1, 5000, 7, "uniform", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRule(t *testing.T) {
+	if err := run("", true, 8, 3, 0.5, 1, 3000, 5, "uniform", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", false, 0, 0, 0, 1, 1000, 0, "uniform", false); err == nil {
+		t.Error("accepted bad table number")
+	}
+	if err := run("9", false, 0, 0, 0, 1, 1000, 0, "uniform", false); err == nil {
+		t.Error("accepted unknown table")
+	}
+	if err := run("1", false, 0, 0, 0, 1, 1000, 0, "bogus", false); err == nil {
+		t.Error("accepted bogus pattern")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run("1", false, 0, 0, 0, 1, 3000, 7, "uniform", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPick(t *testing.T) {
+	if pick(0, 42) != 42 || pick(7, 42) != 7 {
+		t.Fatal("pick wrong")
+	}
+}

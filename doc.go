@@ -1,0 +1,13 @@
+// Package repro is a full reproduction of "A Real-Time Communication
+// Method for Wormhole Switching Networks" (Kim, Kim, Hong, Lee —
+// ICPP 1998): a delay-upper-bound analysis for prioritised periodic
+// message streams over flit-level preemptive wormhole switching, a
+// cycle-accurate flit-level network simulator to validate it, and a
+// benchmark harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results. The root-level
+// benchmarks (bench_test.go) are the entry point for regenerating the
+// evaluation: go test -bench=. -benchmem.
+package repro

@@ -1,0 +1,87 @@
+// Capacity planning: how many random real-time streams can a 10x10
+// mesh admit before the feasibility test starts rejecting, and how does
+// the number of priority levels (virtual channels per link) move that
+// admission curve? This is the system-design question behind the
+// paper's Tables 1-5: priority levels are a hardware cost, and the
+// experiment shows what each extra level buys.
+//
+// Run with: go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("admitted streams whose delay bound fits the deadline (10x10 mesh, C~U[1,40], T~U[40,90])")
+	fmt.Printf("%-10s", "levels")
+	sizes := []int{10, 20, 30, 40, 50, 60}
+	for _, n := range sizes {
+		fmt.Printf(" |M|=%-4d", n)
+	}
+	fmt.Println()
+
+	for _, levels := range []int{1, 2, 4, 8, 15} {
+		fmt.Printf("%-10d", levels)
+		for _, n := range sizes {
+			fmt.Printf(" %-8s", admitted(n, levels))
+		}
+		fmt.Println()
+	}
+
+	// A closer look at one operating point: which streams are rejected
+	// and how loaded the hottest channel is.
+	set, analyzer, err := workload.Generate(noInflate(40, 4, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, rejected := admit(set, analyzer)
+	fmt.Printf("\noperating point |M|=40, 4 levels: %d admitted, %d rejected, max link utilisation %.2f\n",
+		ok, rejected, sched.MaxLinkUtilization(set))
+	fmt.Println("(rejection means U > T under the original periods: the stream would need a")
+	fmt.Println(" longer period, a shorter message, or a higher priority level to be admitted)")
+}
+
+// noInflate disables the paper's period-inflation rule: for capacity
+// planning we want to see which streams the test would reject at their
+// requested rates.
+func noInflate(streams, levels int, seed int64) workload.Config {
+	cfg := workload.PaperDefaults(streams, levels, seed)
+	cfg.InflatePeriods = false
+	return cfg
+}
+
+func admit(set *stream.Set, analyzer *core.Analyzer) (ok, rejected int) {
+	for _, s := range set.Streams {
+		u, err := analyzer.CalUSearchCap(s.ID, 1<<15)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if u > 0 && u <= s.Deadline {
+			ok++
+		} else {
+			rejected++
+		}
+	}
+	return ok, rejected
+}
+
+func admitted(streams, levels int) string {
+	total := 0
+	const trials = 3
+	for t := int64(0); t < trials; t++ {
+		set, analyzer, err := workload.Generate(noInflate(streams, levels, 100+t))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, _ := admit(set, analyzer)
+		total += ok
+	}
+	return fmt.Sprintf("%.1f", float64(total)/trials)
+}

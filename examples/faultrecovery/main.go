@@ -1,0 +1,99 @@
+// Fault recovery: a physical channel dies under a running real-time
+// configuration. The host re-routes every stream that crossed the dead
+// channel around the fault (breadth-first detours) and re-runs the
+// paper's feasibility test on the recovered configuration — the static
+// counterpart of the fault-tolerant real-time channels in the paper's
+// related work. The example shows a fault the contract survives, then a
+// second fault that concentrates traffic until a deadline breaks, and
+// uses the interference report to explain which stream is responsible.
+//
+// Run with: go run ./examples/faultrecovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+func main() {
+	mesh := topology.NewMesh2D(6, 3)
+	router := routing.NewXY(mesh)
+	set := stream.NewSet(mesh)
+	names := []string{"control", "lidar", "telemetry"}
+	add := func(sx, sy, dx, dy, p, t, c, d int) {
+		if _, err := set.Add(router, mesh.ID(sx, sy), mesh.ID(dx, dy), p, t, c, d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	add(0, 0, 5, 0, 3, 40, 6, 24)   // control on row 0, tight deadline
+	add(0, 1, 5, 1, 4, 60, 20, 120) // lidar frames on row 1: safety-critical, highest priority
+	add(0, 2, 5, 2, 1, 80, 12, 160) // telemetry on row 2
+
+	report, err := core.DetermineFeasibility(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy network: feasible=%v (rows carry one stream each)\n\n", report.Feasible)
+
+	// Fault 1: a telemetry-row channel dies. The detour shifts
+	// telemetry one row — it only meets the lidar row, and everything
+	// still fits.
+	f1 := map[topology.Channel]bool{
+		{From: mesh.ID(2, 2), To: mesh.ID(3, 2)}: true,
+	}
+	rec1, err := fault.Recover(set, f1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault 1: channel (2,2)->(3,2) dead\n  %s\n", rec1.Summary())
+	for _, id := range rec1.Rerouted {
+		fmt.Printf("  %s re-routed, now %d hops (was %d)\n",
+			names[id], rec1.Recovered.Get(id).Path.Hops(), set.Get(id).Path.Hops())
+	}
+
+	// Fault 2: on the already-recovered network, a lidar-row channel
+	// dies too; the 20-flit lidar worm detours onto the control row and
+	// the 24-flit-time control deadline no longer holds.
+	f2 := map[topology.Channel]bool{
+		{From: mesh.ID(2, 1), To: mesh.ID(3, 1)}: true,
+	}
+	rec2, err := fault.Recover(rec1.Recovered, f2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfault 2: channel (2,1)->(3,1) dead as well\n  %s\n", rec2.Summary())
+	for _, v := range rec2.After.Verdicts {
+		status := "ok"
+		if !v.Feasible {
+			status = "MISSES DEADLINE"
+		}
+		u := fmt.Sprintf("%d", v.U)
+		if v.U < 0 {
+			u = "unbounded"
+		}
+		fmt.Printf("  %-10s U=%-9s deadline %-4d %s\n", names[v.ID], u, v.Deadline, status)
+	}
+
+	if rec2.Survives() {
+		log.Fatal("expected the second fault to break the contract")
+	}
+	// Diagnose the broken stream.
+	analyzer, err := core.NewAnalyzer(rec2.Recovered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	interf, err := analyzer.Interference(0, 4*set.Get(0).Deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwhy the control stream broke:")
+	fmt.Print(interf.Format())
+	fmt.Println("-> the detoured lidar worm now outweighs the control slack;")
+	fmt.Println("   the host must demote lidar, shrink its frames, or reject the fault state")
+}

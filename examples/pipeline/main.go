@@ -1,0 +1,105 @@
+// Pipeline placement: three parallel signal-processing pipelines must
+// be mapped onto a 4x4 mesh multicomputer. The paper defers this job
+// allocation problem ("jobs which communicate each other frequently
+// could be mapped to relatively nearby processing nodes", §2); this
+// example solves it with the repository's placement extension and shows
+// how much schedulability the mapping buys: the same task graph that
+// fails the feasibility test under a careless placement passes it after
+// greedy construction plus simulated-annealing refinement.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	mesh := topology.NewMesh2D(4, 4)
+	router := routing.NewXY(mesh)
+
+	// Three four-stage pipelines (sensor -> filter -> detect -> report),
+	// each stage streaming 16-flit frames every 40 flit times with a
+	// 30-flit-time hop budget.
+	problem := place.Problem{Tasks: 12}
+	for _, base := range []int{0, 4, 8} {
+		for i := 0; i < 3; i++ {
+			problem.Demands = append(problem.Demands, place.Demand{
+				From: place.Task(base + i), To: place.Task(base + i + 1),
+				Priority: 1 + base/4, Period: 40, Length: 16, Deadline: 30,
+			})
+		}
+	}
+
+	show := func(label string, a place.Assignment) bool {
+		set, err := problem.Build(mesh, router, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := core.DetermineFeasibility(set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost, err := problem.Cost(mesh, router, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := 0
+		for _, v := range rep.Verdicts {
+			if v.Feasible {
+				ok++
+			}
+		}
+		fmt.Printf("%-22s cost %6.2f  feasible %d/%d streams", label, cost, ok, set.Len())
+		if rep.Feasible {
+			fmt.Print("  -> ACCEPTED")
+		}
+		fmt.Println()
+		return rep.Feasible
+	}
+
+	fmt.Println("placing 3 pipelines (12 tasks, 9 streams) on a 4x4 mesh, deadline 30 flit times")
+	fmt.Println()
+	anyRandomOK := false
+	for seed := int64(0); seed < 5; seed++ {
+		a, err := place.Random(problem, mesh, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if show(fmt.Sprintf("random placement #%d", seed), a) {
+			anyRandomOK = true
+		}
+	}
+
+	greedy, err := place.Greedy(problem, mesh, router)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("greedy placement", greedy)
+
+	refined, err := place.Anneal(problem, mesh, router, greedy, place.AnnealConfig{Seed: 11, Iterations: 4000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok := show("greedy + annealing", refined)
+	if !ok {
+		log.Fatal("expected the refined placement to be feasible")
+	}
+
+	fmt.Println("\nfinal mapping (task -> mesh coordinate):")
+	for task, node := range refined {
+		x, y := mesh.XY(node)
+		pipe := task / 4
+		stage := task % 4
+		fmt.Printf("  pipeline %d stage %d -> (%d,%d)\n", pipe, stage, x, y)
+	}
+	if !anyRandomOK {
+		fmt.Println("\nnone of the random placements was schedulable; placement is not optional")
+	}
+}

@@ -1,0 +1,119 @@
+// Package assign searches for a priority assignment that makes a
+// message-stream set feasible — automating what the avionics example
+// does by hand when an integrator mis-ranks a bulk transfer above a
+// control loop.
+//
+// The search is Audsley-style: priorities are assigned from the lowest
+// level up, and a stream may take the current lowest level if the whole
+// set passes the feasibility test with every still-unassigned stream
+// parked above it. Audsley's optimality argument assumes a stream's
+// bound is independent of the relative order of its higher-priority
+// blockers, which the paper's timing-diagram analysis does not strictly
+// satisfy (rows are laid out in priority order and blocking chains
+// depend on it), so the search is a well-grounded heuristic here rather
+// than a completeness guarantee; a final verification run confirms any
+// assignment it returns.
+package assign
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Result is the outcome of a search.
+type Result struct {
+	// Priorities[i] is the assigned priority of stream i (1..n, larger
+	// = more important). Nil when no assignment was found.
+	Priorities []int
+	// Tested counts the feasibility evaluations performed.
+	Tested int
+}
+
+// Search looks for a feasible priority assignment for the set. The
+// set's priorities are modified during the search and always restored
+// before returning; on success the returned Priorities can be applied
+// with Apply.
+func Search(set *stream.Set) (*Result, error) {
+	n := set.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("assign: empty stream set")
+	}
+	orig := make([]int, n)
+	for i, s := range set.Streams {
+		orig[i] = s.Priority
+	}
+	defer func() {
+		for i, s := range set.Streams {
+			s.Priority = orig[i]
+		}
+	}()
+
+	res := &Result{}
+	assigned := make([]int, n) // 0 = unassigned
+	// Audsley: fill levels 1 (lowest) .. n (highest).
+	for level := 1; level <= n; level++ {
+		placed := false
+		for cand := 0; cand < n && !placed; cand++ {
+			if assigned[cand] != 0 {
+				continue
+			}
+			// Tentative: cand at `level`, all other unassigned streams
+			// above every assigned level (so they can still take any
+			// higher slot), assigned streams at their levels.
+			for i, s := range set.Streams {
+				switch {
+				case i == cand:
+					s.Priority = level
+				case assigned[i] != 0:
+					s.Priority = assigned[i]
+				default:
+					s.Priority = n + 1 // parked above
+				}
+			}
+			rep, err := core.DetermineFeasibility(set)
+			if err != nil {
+				return nil, err
+			}
+			res.Tested++
+			// Only cand's verdict matters at this stage: the parked
+			// streams' bounds are not final.
+			if v := rep.Verdicts[set.Streams[cand].ID]; v.Feasible {
+				assigned[cand] = level
+				placed = true
+			}
+		}
+		if !placed {
+			return res, nil // Priorities stays nil: no assignment found
+		}
+	}
+	// Verify the complete assignment end to end.
+	for i, s := range set.Streams {
+		s.Priority = assigned[i]
+	}
+	rep, err := core.DetermineFeasibility(set)
+	if err != nil {
+		return nil, err
+	}
+	res.Tested++
+	if !rep.Feasible {
+		return res, nil
+	}
+	res.Priorities = assigned
+	return res, nil
+}
+
+// Apply writes the assignment onto the set.
+func Apply(set *stream.Set, priorities []int) error {
+	if len(priorities) != set.Len() {
+		return fmt.Errorf("assign: %d priorities for %d streams", len(priorities), set.Len())
+	}
+	for i, s := range set.Streams {
+		if priorities[i] < 1 {
+			return fmt.Errorf("assign: stream %d priority %d", i, priorities[i])
+		}
+		s.Priority = priorities[i]
+	}
+	return nil
+}

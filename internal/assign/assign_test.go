@@ -1,0 +1,125 @@
+package assign
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// avionicsLike rebuilds the misconfigured set of examples/avionics: a
+// 120-flit maintenance dump outranking a 20-flit-deadline control loop
+// on a shared column. Infeasible as given; feasible under the right
+// ordering.
+func avionicsLike(t *testing.T) *stream.Set {
+	t.Helper()
+	m := topology.NewMesh2D(4, 4)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	add := func(sx, sy, dx, dy, p, period, c, d int) {
+		if _, err := set.Add(r, m.ID(sx, sy), m.ID(dx, dy), p, period, c, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, 0, 1, 3, 2, 40, 4, 20)     // pitch-control
+	add(2, 0, 2, 3, 4, 40, 4, 20)     // yaw-control
+	add(0, 1, 3, 1, 3, 120, 16, 120)  // nav-update
+	add(0, 2, 3, 2, 3, 90, 10, 90)    // engine-monitor
+	add(1, 0, 1, 3, 5, 200, 120, 400) // maintenance-dump, mis-ranked on top
+	return set
+}
+
+func TestSearchFixesMisconfiguration(t *testing.T) {
+	set := avionicsLike(t)
+	before, err := core.DetermineFeasibility(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Feasible {
+		t.Fatal("precondition: the misconfigured set should be infeasible")
+	}
+	res, err := Search(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Priorities == nil {
+		t.Fatalf("no assignment found after %d tests", res.Tested)
+	}
+	// Search must not have mutated the set.
+	if set.Get(4).Priority != 5 {
+		t.Fatal("search mutated the set")
+	}
+	if err := Apply(set, res.Priorities); err != nil {
+		t.Fatal(err)
+	}
+	after, err := core.DetermineFeasibility(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Feasible {
+		t.Fatalf("returned assignment infeasible: %v", res.Priorities)
+	}
+	// The dump must end up below the tight-deadline control loop.
+	if set.Get(4).Priority >= set.Get(0).Priority {
+		t.Fatalf("dump (%d) should rank below pitch-control (%d)",
+			set.Get(4).Priority, set.Get(0).Priority)
+	}
+}
+
+func TestSearchReportsImpossible(t *testing.T) {
+	// Two saturating streams on one row: no ordering can make the
+	// lower one meet its deadline.
+	m := topology.NewMesh2D(6, 1)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	if _, err := set.Add(r, 0, 5, 1, 20, 15, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Add(r, 0, 5, 2, 20, 15, 20); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Priorities != nil {
+		t.Fatalf("found an assignment for an impossible set: %v", res.Priorities)
+	}
+}
+
+func TestSearchKeepsFeasibleSetsFeasible(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	for i := 0; i < 5; i++ {
+		if _, err := set.Add(r, topology.NodeID(i), topology.NodeID(30+i), 1, 100, 4, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Search(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Priorities == nil {
+		t.Fatal("light load should be assignable")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	set := avionicsLike(t)
+	if err := Apply(set, []int{1, 2}); err == nil {
+		t.Fatal("accepted wrong length")
+	}
+	if err := Apply(set, []int{1, 2, 3, 4, 0}); err == nil {
+		t.Fatal("accepted zero priority")
+	}
+}
+
+func TestSearchEmptySet(t *testing.T) {
+	m := topology.NewMesh2D(3, 3)
+	if _, err := Search(stream.NewSet(m)); err == nil {
+		t.Fatal("accepted empty set")
+	}
+}

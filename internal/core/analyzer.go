@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Analyzer computes delay upper bounds for a validated stream set. It
+// plays the role of the paper's host processor: it holds all traffic
+// information and runs the feasibility test before the job is started.
+type Analyzer struct {
+	Set *stream.Set
+	hps []HPSet
+}
+
+// NewAnalyzer validates the set and builds every HP set.
+func NewAnalyzer(set *stream.Set) (*Analyzer, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{Set: set, hps: BuildHPSets(set)}, nil
+}
+
+// HP returns the HP set of the given stream.
+func (a *Analyzer) HP(id stream.ID) (HPSet, error) {
+	if id < 0 || int(id) >= len(a.hps) {
+		return HPSet{}, fmt.Errorf("core: no stream %d", id)
+	}
+	return a.hps[id], nil
+}
+
+// BDG returns the blocking dependency graph of the given stream.
+func (a *Analyzer) BDG(id stream.ID) (*BDG, error) {
+	hp, err := a.HP(id)
+	if err != nil {
+		return nil, err
+	}
+	return NewBDG(id, hp.WithoutOwner()), nil
+}
+
+// elements assembles the timing-diagram rows for id's HP set.
+func (a *Analyzer) elements(id stream.ID) []Element {
+	elems := a.hps[id].WithoutOwner()
+	out := make([]Element, 0, len(elems))
+	for _, e := range elems {
+		s := a.Set.Get(e.ID)
+		out = append(out, Element{
+			ID:       s.ID,
+			Priority: s.Priority,
+			Period:   s.Period,
+			Length:   s.Length,
+			Mode:     e.Mode,
+			Via:      e.Via,
+		})
+	}
+	return out
+}
+
+// Diagram builds the final (modified) timing diagram for the given
+// stream over the given horizon.
+func (a *Analyzer) Diagram(id stream.ID, horizon int) (*Diagram, error) {
+	if _, err := a.HP(id); err != nil {
+		return nil, err
+	}
+	d, err := NewDiagram(a.elements(id), horizon)
+	if err != nil {
+		return nil, err
+	}
+	d.Modify()
+	return d, nil
+}
+
+// InitialDiagram builds the initial (pre-Modify) timing diagram, i.e.
+// every element treated as direct — the paper's Figure 7 view.
+func (a *Analyzer) InitialDiagram(id stream.ID, horizon int) (*Diagram, error) {
+	if _, err := a.HP(id); err != nil {
+		return nil, err
+	}
+	return NewDiagram(a.elements(id), horizon)
+}
+
+// CalU computes the delay upper bound of the given stream with the
+// deadline as horizon (the paper's Cal_U). It returns -1 when the bound
+// does not exist within the deadline (the stream is infeasible).
+func (a *Analyzer) CalU(id stream.ID) (int, error) {
+	s := a.Set.Get(id)
+	if s == nil {
+		return 0, fmt.Errorf("core: no stream %d", id)
+	}
+	return a.CalUHorizon(id, s.Deadline)
+}
+
+// CalUHorizon computes the delay upper bound with an explicit horizon.
+func (a *Analyzer) CalUHorizon(id stream.ID, horizon int) (int, error) {
+	s := a.Set.Get(id)
+	if s == nil {
+		return 0, fmt.Errorf("core: no stream %d", id)
+	}
+	d, err := a.Diagram(id, horizon)
+	if err != nil {
+		return 0, err
+	}
+	return d.DelayUpperBound(s.Latency), nil
+}
+
+// MaxSearchHorizon caps CalUSearch. A bound not found within this many
+// flit times means the HP demand saturates the stream's capacity.
+const MaxSearchHorizon = 1 << 21
+
+// CalUSearch computes the delay upper bound without a deadline cap: the
+// horizon is doubled (starting from the deadline or the latency,
+// whichever is larger) until the bound is found or MaxSearchHorizon is
+// exceeded. Because the diagram construction is window-local, a longer
+// horizon never changes earlier columns, so the first bound found is
+// the bound. Used by the simulation study, which inflates periods when
+// U > T rather than rejecting streams.
+func (a *Analyzer) CalUSearch(id stream.ID) (int, error) {
+	return a.CalUSearchCap(id, MaxSearchHorizon)
+}
+
+// CalUSearchCap is CalUSearch with an explicit horizon cap; it returns
+// -1 when no bound exists within maxHorizon. Evaluation harnesses use a
+// cap near the simulated time — a bound beyond the experiment horizon
+// carries no information and is expensive to chase.
+//
+// The diagram construction is window-local, but a period window
+// truncated by the horizon can place (and release) demand differently
+// from its complete version, and via chains propagate such boundary
+// effects inward by at most one period per chain hop. A bound u found
+// at horizon h is therefore only accepted once u plus that stability
+// margin fits inside h; otherwise the horizon keeps doubling. At the
+// cap the best-effort bound is returned.
+func (a *Analyzer) CalUSearchCap(id stream.ID, maxHorizon int) (int, error) {
+	s := a.Set.Get(id)
+	if s == nil {
+		return 0, fmt.Errorf("core: no stream %d", id)
+	}
+	if maxHorizon < 1 {
+		return 0, fmt.Errorf("core: max horizon %d must be positive", maxHorizon)
+	}
+	elems := a.hps[id].WithoutOwner()
+	margin := 0
+	for _, e := range elems {
+		if p := a.Set.Get(e.ID).Period; p > margin {
+			margin = p
+		}
+	}
+	margin *= len(elems) + 1
+	h := s.Deadline
+	if s.Latency > h {
+		h = s.Latency
+	}
+	if h < 1 {
+		h = 1
+	}
+	best := -1
+	for ; h <= maxHorizon; h *= 2 {
+		u, err := a.CalUHorizon(id, h)
+		if err != nil {
+			return 0, err
+		}
+		if u >= 0 {
+			best = u
+			if u+margin <= h {
+				return u, nil
+			}
+		}
+	}
+	return best, nil
+}
+
+// Verdict is the feasibility result for one stream.
+type Verdict struct {
+	ID       stream.ID
+	U        int // delay upper bound; -1 if not found within the deadline
+	Deadline int
+	Feasible bool // U >= 0 && U <= Deadline
+}
+
+// Report is the outcome of DetermineFeasibility for a whole set.
+type Report struct {
+	Verdicts []Verdict
+	Feasible bool // all streams feasible
+}
+
+// DetermineFeasibility runs the paper's Determine-Feasibility: it
+// computes U for every stream (highest priority first) and succeeds iff
+// every U exists and is at most the stream's deadline.
+func DetermineFeasibility(set *stream.Set) (*Report, error) {
+	a, err := NewAnalyzer(set)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Feasible: true, Verdicts: make([]Verdict, set.Len())}
+	for _, s := range set.ByPriorityDesc() {
+		u, err := a.CalU(s.ID)
+		if err != nil {
+			return nil, err
+		}
+		v := Verdict{ID: s.ID, U: u, Deadline: s.Deadline, Feasible: u >= 0 && u <= s.Deadline}
+		rep.Verdicts[s.ID] = v
+		if !v.Feasible {
+			rep.Feasible = false
+		}
+	}
+	return rep, nil
+}

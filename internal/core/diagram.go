@@ -1,0 +1,391 @@
+// Package core implements the paper's primary contribution: the delay
+// upper-bound (U) calculation algorithm for real-time message streams in
+// flit-level preemptive wormhole switching networks, and the message
+// stream feasibility test built on it (paper §4).
+//
+// The analysis proceeds in three steps, mirroring the paper:
+//
+//  1. For every stream M_j, build the HP set — the streams of higher or
+//     equal priority that can block M_j, either directly (overlapping
+//     paths) or indirectly (through a chain of intervening streams).
+//  2. Build M_j's timing diagram: one row per HP element, sorted by
+//     non-increasing priority, plus a result row. Generate_Init_Diagram
+//     allocates each element's periodic demand greedily, marking slots
+//     ALLOCATED (transmitting), WAITING (requesting but preempted) or
+//     BUSY (taken by a higher-priority row). When the HP set contains
+//     indirect elements, Modify_Diagram releases the slots an indirect
+//     element holds while none of its intermediate streams requests
+//     them — an indirect blocker can only delay M_j through an
+//     intermediate.
+//  3. Cal_U scans the result row: U_j is the time at which the
+//     accumulated FREE slots equal M_j's network latency L_j. The set
+//     is feasible iff U_j <= D_j for every stream.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// Cell is the state of one time slot in one row of a timing diagram.
+type Cell uint8
+
+const (
+	// Free: the slot is not used by any higher-priority stream; it is
+	// available to the row's stream (or, on the result row, to the
+	// stream under analysis).
+	Free Cell = iota
+	// Busy: a higher-priority row transmits in this slot; the row's
+	// stream neither holds nor requests it.
+	Busy
+	// Waiting: the row's stream requests the slot but is preempted by a
+	// higher-priority stream.
+	Waiting
+	// Allocated: the row's stream transmits in this slot.
+	Allocated
+)
+
+// String renders the cell as a single character (used by the renderer).
+func (c Cell) String() string {
+	switch c {
+	case Free:
+		return "."
+	case Busy:
+		return "-"
+	case Waiting:
+		return "w"
+	case Allocated:
+		return "#"
+	}
+	return "?"
+}
+
+// Mode says whether an HP element blocks the stream under analysis
+// directly (overlapping paths) or indirectly (through intermediates).
+type Mode uint8
+
+const (
+	// Direct blocking: the element's path overlaps the analysed
+	// stream's path.
+	Direct Mode = iota
+	// Indirect blocking: the paths do not overlap but intervening
+	// streams connect them (a blocking chain).
+	Indirect
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Direct {
+		return "DIRECT"
+	}
+	return "INDIRECT"
+}
+
+// Element is one row of a timing diagram: a blocking stream with its
+// periodic demand and its blocking mode relative to the stream under
+// analysis. Via lists the intermediate streams of an Indirect element
+// (the IN field of the paper's HP-set structure); it is empty for
+// Direct elements.
+type Element struct {
+	ID       stream.ID
+	Priority int
+	Period   int // T: release interval of the element's demand
+	Length   int // C: slots demanded per period
+	Mode     Mode
+	Via      []stream.ID
+}
+
+// Diagram is the timing diagram of one stream's HP set: rows[0..n-1]
+// are the HP elements in non-increasing priority order and the final
+// row is the result row whose FREE slots are usable by the analysed
+// stream. Column c (0-based) models time slot c+1, matching the paper's
+// 1-indexed diagrams.
+//
+// The layout of the diagram is fully determined by the per-window
+// demand of every row: window k of row r (time slots k*T+1 .. (k+1)*T)
+// claims demand[r][k] slots, greedily from the start of the window.
+// Modify_Diagram releases demand of indirect elements; the diagram is
+// then re-laid-out, which makes the "Update T_d consistently" step of
+// the paper's pseudocode idempotent.
+type Diagram struct {
+	Elements []Element // sorted by non-increasing priority, ties by ID
+	Horizon  int       // number of time slots (the paper's dtime)
+	cells    [][]Cell  // [row][col]; len == len(Elements)+1
+	demand   [][]int   // [row][window] remaining slots to claim
+	rowOf    map[stream.ID]int
+}
+
+// NewDiagram builds the initial timing diagram for the given HP
+// elements over the given horizon, treating every element as direct
+// (the paper's Generate_Init_Diagram). Call Modify to apply the
+// indirect-element rule. NewDiagram returns an error for non-positive
+// horizons or elements with non-positive period/length.
+func NewDiagram(elems []Element, horizon int) (*Diagram, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("core: horizon %d must be positive", horizon)
+	}
+	sorted := make([]Element, len(elems))
+	copy(sorted, elems)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Priority != sorted[j].Priority {
+			return sorted[i].Priority > sorted[j].Priority
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	d := &Diagram{
+		Elements: sorted,
+		Horizon:  horizon,
+		cells:    make([][]Cell, len(sorted)+1),
+		demand:   make([][]int, len(sorted)),
+		rowOf:    make(map[stream.ID]int, len(sorted)),
+	}
+	for i := range d.cells {
+		d.cells[i] = make([]Cell, horizon)
+	}
+	for i, e := range sorted {
+		if e.Period <= 0 || e.Length <= 0 {
+			return nil, fmt.Errorf("core: element %d has non-positive period/length (%d/%d)", e.ID, e.Period, e.Length)
+		}
+		if _, dup := d.rowOf[e.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate element %d", e.ID)
+		}
+		d.rowOf[e.ID] = i
+		windows := (horizon + e.Period - 1) / e.Period
+		d.demand[i] = make([]int, windows)
+		for k := range d.demand[i] {
+			d.demand[i][k] = e.Length
+		}
+	}
+	d.layout(0)
+	return d, nil
+}
+
+// layout re-derives all cells of rows from..end from the current
+// per-window demands: rows above from are kept fixed, their BUSY marks
+// re-propagated, and each row from..end is scanned in priority order.
+func (d *Diagram) layout(from int) {
+	for r := from; r < len(d.cells); r++ {
+		for col := range d.cells[r] {
+			d.cells[r][col] = Free
+		}
+	}
+	for upper := 0; upper < from; upper++ {
+		for col, c := range d.cells[upper] {
+			if c == Allocated {
+				for r := from; r < len(d.cells); r++ {
+					d.cells[r][col] = Busy
+				}
+			}
+		}
+	}
+	for r := from; r < len(d.Elements); r++ {
+		d.scanRow(r)
+	}
+}
+
+// scanRow runs the paper's per-element greedy allocation for one row:
+// within each period window the element claims its remaining demand
+// from the first free slots, marks the slots it was preempted in as
+// WAITING (requesting but preempted), and propagates BUSY to every
+// lower row for each slot it claims. A congested window keeps its full
+// demand — when released capacity above compacts downward on a
+// re-scan, the element legitimately transmits more. Only a window
+// truncated by the horizon has its demand clamped to what was placed:
+// the part beyond the horizon must not re-enter earlier slots on a
+// re-scan, or the diagram would disagree with its own longer-horizon
+// extension.
+func (d *Diagram) scanRow(row int) {
+	e := d.Elements[row]
+	for k, start := 0, 0; start < d.Horizon; k, start = k+1, start+e.Period {
+		need := d.demand[row][k]
+		allocated := 0
+		for l := 0; l < e.Period && allocated < need; l++ {
+			col := start + l
+			if col >= d.Horizon {
+				break
+			}
+			switch d.cells[row][col] {
+			case Free:
+				d.cells[row][col] = Allocated
+				allocated++
+				for below := row + 1; below < len(d.cells); below++ {
+					d.cells[below][col] = Busy
+				}
+			case Busy:
+				d.cells[row][col] = Waiting
+			}
+		}
+		if start+e.Period > d.Horizon {
+			d.demand[row][k] = allocated
+		}
+	}
+}
+
+// Row returns a copy of the cells of the element with the given ID.
+// The second result is false if the ID is not an element of the diagram.
+func (d *Diagram) Row(id stream.ID) ([]Cell, bool) {
+	row, ok := d.rowOf[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]Cell, d.Horizon)
+	copy(out, d.cells[row])
+	return out, true
+}
+
+// ResultRow returns a copy of the result row: the slot availability
+// seen by the analysed stream.
+func (d *Diagram) ResultRow() []Cell {
+	out := make([]Cell, d.Horizon)
+	copy(out, d.cells[len(d.cells)-1])
+	return out
+}
+
+// Modify applies the paper's Modify_Diagram: for every INDIRECT
+// element, release each slot the element holds (ALLOCATED or WAITING)
+// while none of its intermediate streams requests it (i.e. every
+// intermediate row is FREE or BUSY in that slot) — if no intermediate
+// wants the slot, the indirect element cannot be delaying the analysed
+// stream there. Releasing an allocated slot removes one unit of the
+// element's demand in that period window; the diagram is then re-laid
+// out so freed capacity compacts downward ("Update T_d consistently").
+//
+// Elements are processed in the order of the paper's breadth-first
+// traversal of the transposed blocking dependency graph: intermediates
+// before the elements that block through them (ascending chain depth),
+// so that each element's release test sees its intermediates' final
+// demand.
+func (d *Diagram) Modify() {
+	order := d.modifyOrder()
+	for _, row := range order {
+		e := d.Elements[row]
+		viaRows := make([]int, 0, len(e.Via))
+		for _, v := range e.Via {
+			if vr, ok := d.rowOf[v]; ok {
+				viaRows = append(viaRows, vr)
+			}
+		}
+		changed := false
+		for col := 0; col < d.Horizon; col++ {
+			c := d.cells[row][col]
+			if c != Allocated && c != Waiting {
+				continue
+			}
+			requested := false
+			for _, vr := range viaRows {
+				if vc := d.cells[vr][col]; vc == Allocated || vc == Waiting {
+					requested = true
+					break
+				}
+			}
+			if requested {
+				continue
+			}
+			if c == Allocated {
+				d.demand[row][col/e.Period]--
+				changed = true
+			}
+			d.cells[row][col] = Free
+		}
+		if changed {
+			// The releasing row's surviving slots stay in place (in
+			// Figure 9 the kept instances of M0 and M1 do not move);
+			// only the rows below are re-laid-out over the released
+			// capacity ("Update T_d consistently" — M3's instance is
+			// compacted). The reduced demand takes effect if a later,
+			// higher-priority release re-scans this row.
+			d.layout(row + 1)
+		}
+	}
+}
+
+// modifyOrder returns the rows of the indirect elements in ascending
+// blocking-chain depth (an element's intermediates are processed before
+// the element itself), ties broken lower-priority-row first. Depth is
+// computed from the Via relation with a cycle guard.
+func (d *Diagram) modifyOrder() []int {
+	depth := make([]int, len(d.Elements))
+	var visit func(row int, seen map[int]bool) int
+	visit = func(row int, seen map[int]bool) int {
+		if depth[row] != 0 {
+			return depth[row]
+		}
+		if seen[row] {
+			return 1 // cycle guard: treat as direct depth
+		}
+		seen[row] = true
+		e := d.Elements[row]
+		dd := 1
+		if e.Mode == Indirect {
+			for _, v := range e.Via {
+				if vr, ok := d.rowOf[v]; ok {
+					if vd := visit(vr, seen) + 1; vd > dd {
+						dd = vd
+					}
+				}
+			}
+			if dd == 1 {
+				dd = 2 // indirect with no resolvable vias still ranks after directs
+			}
+		}
+		delete(seen, row)
+		depth[row] = dd
+		return dd
+	}
+	for r := range d.Elements {
+		visit(r, map[int]bool{})
+	}
+	var order []int
+	for r, e := range d.Elements {
+		if e.Mode == Indirect {
+			order = append(order, r)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if depth[order[i]] != depth[order[j]] {
+			return depth[order[i]] < depth[order[j]]
+		}
+		return order[i] > order[j] // lower priority (deeper row) first
+	})
+	return order
+}
+
+// DelayUpperBound scans the result row and returns the 1-indexed time
+// at which the accumulated FREE slots reach required — the paper's
+// Cal_U scan. It returns -1 if the horizon does not contain enough free
+// slots (the demand cannot be satisfied by the deadline). A required
+// value of zero returns 0.
+func (d *Diagram) DelayUpperBound(required int) int {
+	if required <= 0 {
+		return 0
+	}
+	got := 0
+	last := d.cells[len(d.cells)-1]
+	for col := 0; col < d.Horizon; col++ {
+		if last[col] == Free {
+			got++
+			if got == required {
+				return col + 1
+			}
+		}
+	}
+	return -1
+}
+
+// FreeSlots returns the number of FREE slots in the result row up to
+// and including the 1-indexed time t (clamped to the horizon).
+func (d *Diagram) FreeSlots(t int) int {
+	if t > d.Horizon {
+		t = d.Horizon
+	}
+	got := 0
+	last := d.cells[len(d.cells)-1]
+	for col := 0; col < t; col++ {
+		if last[col] == Free {
+			got++
+		}
+	}
+	return got
+}

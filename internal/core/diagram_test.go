@@ -1,0 +1,290 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestFigure4DirectBlocking reproduces the paper's Figure 4: with all
+// three blockers direct and a network latency of 6, the delay upper
+// bound of M4 is 26.
+func TestFigure4DirectBlocking(t *testing.T) {
+	d, err := NewDiagram(figure4Elements(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := d.DelayUpperBound(6); u != 26 {
+		t.Fatalf("U = %d, want 26\n%s", u, d.Render(0))
+	}
+}
+
+// TestFigure4SlotLayout pins the exact slot layout of Figure 4's
+// initial diagram: M1 transmits 1-2/11-12/21-22, M2 3-5/16-18, M3
+// 6-9/14-15,19-20.
+func TestFigure4SlotLayout(t *testing.T) {
+	d, err := NewDiagram(figure4Elements(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAlloc := map[stream.ID][]int{
+		1: {1, 2, 11, 12, 21, 22},
+		2: {3, 4, 5, 16, 17, 18},
+		// M3's third window [27,39] starts inside the 30-slot horizon
+		// and claims 27-30 (the paper's figure stops at two windows).
+		3: {6, 7, 8, 9, 14, 15, 19, 20, 27, 28, 29, 30},
+	}
+	for id, cols := range wantAlloc {
+		row, ok := d.Row(id)
+		if !ok {
+			t.Fatalf("no row for %d", id)
+		}
+		var got []int
+		for c, cell := range row {
+			if cell == Allocated {
+				got = append(got, c+1)
+			}
+		}
+		if len(got) != len(cols) {
+			t.Fatalf("M%d allocated %v, want %v\n%s", id, got, cols, d.Render(0))
+		}
+		for i := range cols {
+			if got[i] != cols[i] {
+				t.Fatalf("M%d allocated %v, want %v", id, got, cols)
+			}
+		}
+	}
+	// Free slots of the result row up to 26: 10, 13, 23, 24, 25, 26.
+	res := d.ResultRow()
+	wantFree := map[int]bool{10: true, 13: true, 23: true, 24: true, 25: true, 26: true}
+	for c := 0; c < 26; c++ {
+		isFree := res[c] == Free
+		if isFree != wantFree[c+1] {
+			t.Fatalf("result slot %d free=%v, want %v", c+1, isFree, wantFree[c+1])
+		}
+	}
+}
+
+// TestFigure6IndirectBlocking reproduces Figures 5/6: with the blocking
+// chain M1 -> M2 -> M3 -> M4, the second and third instances of M1 are
+// removed and the bound drops from 26 to 22.
+func TestFigure6IndirectBlocking(t *testing.T) {
+	d, err := NewDiagram(figure6Elements(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Modify()
+	if u := d.DelayUpperBound(6); u != 22 {
+		t.Fatalf("U = %d, want 22\n%s", u, d.Render(0))
+	}
+	// M1's surviving transmissions: only the first instance (slots 1-2).
+	row, _ := d.Row(1)
+	var got []int
+	for c, cell := range row {
+		if cell == Allocated {
+			got = append(got, c+1)
+		}
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("M1 allocations after Modify = %v, want [1 2]\n%s", got, d.Render(0))
+	}
+}
+
+// TestModifyKeepsDirectOnlyDiagramsIdentical: Modify must be a no-op
+// when every element is direct.
+func TestModifyKeepsDirectOnlyDiagramsIdentical(t *testing.T) {
+	a, _ := NewDiagram(figure4Elements(), 40)
+	b, _ := NewDiagram(figure4Elements(), 40)
+	b.Modify()
+	for _, id := range []stream.ID{1, 2, 3} {
+		ra, _ := a.Row(id)
+		rb, _ := b.Row(id)
+		for c := range ra {
+			if ra[c] != rb[c] {
+				t.Fatalf("row %d differs at col %d after no-op Modify", id, c+1)
+			}
+		}
+	}
+}
+
+// TestIndirectNeverIncreasesBound: marking elements indirect (with any
+// via) can only release slots, so the bound never grows.
+func TestIndirectNeverIncreasesBound(t *testing.T) {
+	direct, _ := NewDiagram(figure4Elements(), 60)
+	uDirect := direct.DelayUpperBound(6)
+	indirect, _ := NewDiagram(figure6Elements(), 60)
+	indirect.Modify()
+	uIndirect := indirect.DelayUpperBound(6)
+	if uIndirect > uDirect {
+		t.Fatalf("indirect bound %d > direct bound %d", uIndirect, uDirect)
+	}
+}
+
+func TestEmptyHPSetBoundIsLatency(t *testing.T) {
+	d, err := NewDiagram(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{1, 7, 50, 100} {
+		if u := d.DelayUpperBound(l); u != l {
+			t.Fatalf("U(%d) = %d with empty HP set, want %d", l, u, l)
+		}
+	}
+}
+
+func TestDelayUpperBoundEdgeCases(t *testing.T) {
+	d, _ := NewDiagram(figure4Elements(), 20)
+	if u := d.DelayUpperBound(0); u != 0 {
+		t.Fatalf("U(0) = %d, want 0", u)
+	}
+	// Horizon 20 has only 2 free slots (10, 13); asking for 100 fails.
+	if u := d.DelayUpperBound(100); u != -1 {
+		t.Fatalf("U(100) = %d, want -1", u)
+	}
+}
+
+func TestFreeSlots(t *testing.T) {
+	d, _ := NewDiagram(figure4Elements(), 30)
+	if got := d.FreeSlots(26); got != 6 {
+		t.Fatalf("FreeSlots(26) = %d, want 6", got)
+	}
+	if got := d.FreeSlots(9); got != 0 {
+		t.Fatalf("FreeSlots(9) = %d, want 0", got)
+	}
+	if got := d.FreeSlots(1000); got != d.FreeSlots(30) {
+		t.Fatal("FreeSlots beyond horizon should clamp")
+	}
+}
+
+func TestNewDiagramRejectsBadInput(t *testing.T) {
+	if _, err := NewDiagram(figure4Elements(), 0); err == nil {
+		t.Error("accepted zero horizon")
+	}
+	bad := []Element{{ID: 1, Priority: 1, Period: 0, Length: 2}}
+	if _, err := NewDiagram(bad, 10); err == nil {
+		t.Error("accepted zero period")
+	}
+	bad = []Element{{ID: 1, Priority: 1, Period: 5, Length: 0}}
+	if _, err := NewDiagram(bad, 10); err == nil {
+		t.Error("accepted zero length")
+	}
+	dup := []Element{
+		{ID: 1, Priority: 1, Period: 5, Length: 1},
+		{ID: 1, Priority: 2, Period: 5, Length: 1},
+	}
+	if _, err := NewDiagram(dup, 10); err == nil {
+		t.Error("accepted duplicate element IDs")
+	}
+}
+
+func TestRowLookup(t *testing.T) {
+	d, _ := NewDiagram(figure4Elements(), 10)
+	if _, ok := d.Row(99); ok {
+		t.Error("Row(99) should not exist")
+	}
+	if _, ok := d.Row(2); !ok {
+		t.Error("Row(2) should exist")
+	}
+}
+
+// TestWindowOverloadDropsDemand: an element whose period window cannot
+// supply its full demand simply stops at the window end (the paper's
+// scan breaks at the window boundary); demand does not carry over.
+func TestWindowOverloadDropsDemand(t *testing.T) {
+	elems := []Element{
+		{ID: 1, Priority: 3, Period: 4, Length: 3, Mode: Direct}, // 75% load
+		{ID: 2, Priority: 2, Period: 4, Length: 3, Mode: Direct}, // cannot fit
+	}
+	d, err := NewDiagram(elems, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ := d.Row(2)
+	alloc := 0
+	for _, c := range row {
+		if c == Allocated {
+			alloc++
+		}
+	}
+	// Each window leaves exactly 1 free slot for M2, which claims it;
+	// the unmet remainder is dropped.
+	if alloc != 3 {
+		t.Fatalf("M2 allocated %d slots, want 3 (1 per window)\n%s", alloc, d.Render(0))
+	}
+	// The result row sees no free slots at all.
+	if d.FreeSlots(12) != 0 {
+		t.Fatalf("result row should be saturated\n%s", d.Render(0))
+	}
+}
+
+// TestPreemptionMarksWaiting: preempted request slots carry WAITING,
+// which Modify uses as "the stream requests this slot".
+func TestPreemptionMarksWaiting(t *testing.T) {
+	elems := []Element{
+		{ID: 1, Priority: 2, Period: 10, Length: 3, Mode: Direct},
+		{ID: 2, Priority: 1, Period: 10, Length: 2, Mode: Direct},
+	}
+	d, _ := NewDiagram(elems, 10)
+	row, _ := d.Row(2)
+	// M2 waits during slots 1-3 (taken by M1), transmits 4-5.
+	for c := 0; c < 3; c++ {
+		if row[c] != Waiting {
+			t.Fatalf("slot %d = %v, want Waiting\n%s", c+1, row[c], d.Render(0))
+		}
+	}
+	if row[3] != Allocated || row[4] != Allocated {
+		t.Fatalf("M2 should transmit in 4-5\n%s", d.Render(0))
+	}
+	// After its demand is met, the rest of the window is Busy/Free, not
+	// Waiting.
+	for c := 5; c < 10; c++ {
+		if row[c] == Waiting {
+			t.Fatalf("slot %d should not be Waiting after demand met", c+1)
+		}
+	}
+}
+
+func TestRenderContainsLegendAndRows(t *testing.T) {
+	d, _ := NewDiagram(figure6Elements(), 25)
+	d.Modify()
+	out := d.Render(0)
+	for _, want := range []string{"M1", "M2", "M3", "result", "legend", "*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	// Truncation honoured.
+	lines := strings.Split(d.Render(10), "\n")
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "result") && len(ln) > len("result")+10 {
+			t.Fatalf("truncated render too wide: %q", ln)
+		}
+	}
+}
+
+func TestCellString(t *testing.T) {
+	cases := map[Cell]string{Free: ".", Busy: "-", Waiting: "w", Allocated: "#", Cell(9): "?"}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Fatalf("Cell(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Direct.String() != "DIRECT" || Indirect.String() != "INDIRECT" {
+		t.Fatal("Mode strings wrong")
+	}
+}
+
+// TestIndirectWithUnknownViaIsReleased: an indirect element whose via
+// streams are not rows of the diagram cannot block the analysed stream
+// and loses all its slots.
+func TestIndirectWithUnknownViaIsReleased(t *testing.T) {
+	elems := []Element{
+		{ID: 1, Priority: 2, Period: 10, Length: 4, Mode: Indirect, Via: []stream.ID{77}},
+	}
+	d, _ := NewDiagram(elems, 20)
+	d.Modify()
+	if u := d.DelayUpperBound(5); u != 5 {
+		t.Fatalf("U = %d, want 5 (blocker fully released)\n%s", u, d.Render(0))
+	}
+}

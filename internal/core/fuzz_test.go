@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// FuzzDiagram: arbitrary (decoded) element lists must never panic the
+// diagram construction or Modify, and the bound must respect its basic
+// invariants (>= required accumulation position, -1 or within horizon).
+func FuzzDiagram(f *testing.F) {
+	f.Add([]byte{3, 10, 2, 0, 0, 2, 15, 3, 1, 3, 1, 13, 4, 0, 0}, 30, 6)
+	f.Add([]byte{1, 4, 4, 0, 0}, 12, 3)
+	f.Add([]byte{}, 10, 1)
+	f.Fuzz(func(t *testing.T, raw []byte, horizonRaw, reqRaw int) {
+		horizon := 1 + abs(horizonRaw)%300
+		required := 1 + abs(reqRaw)%64
+		// Decode up to 8 elements from the raw bytes, 5 bytes each:
+		// priority, period, length, mode, via-target.
+		var elems []Element
+		for i := 0; i+5 <= len(raw) && len(elems) < 8; i += 5 {
+			e := Element{
+				ID:       stream.ID(len(elems)),
+				Priority: int(raw[i]),
+				Period:   1 + int(raw[i+1])%40,
+				Length:   1 + int(raw[i+2])%20,
+			}
+			if raw[i+3]%2 == 1 {
+				e.Mode = Indirect
+				e.Via = []stream.ID{stream.ID(int(raw[i+4]) % 9)}
+			}
+			elems = append(elems, e)
+		}
+		d, err := NewDiagram(elems, horizon)
+		if err != nil {
+			t.Fatalf("valid elements rejected: %v", err)
+		}
+		d.Modify()
+		u := d.DelayUpperBound(required)
+		if u == 0 && required > 0 {
+			t.Fatalf("U = 0 with required %d", required)
+		}
+		if u > horizon {
+			t.Fatalf("U = %d beyond horizon %d", u, horizon)
+		}
+		if u >= 0 && u < required {
+			t.Fatalf("U = %d below required %d free slots", u, required)
+		}
+		// Modify must be monotone: free slots never decrease.
+		fresh, _ := NewDiagram(elems, horizon)
+		if d.FreeSlots(horizon) < fresh.FreeSlots(horizon) {
+			t.Fatal("Modify reduced free slots")
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// HPElem is one entry of an HP set: a stream that can block the owner
+// of the set, with its blocking mode and — for indirect elements — the
+// intermediate streams (the paper's IN field).
+type HPElem struct {
+	ID   stream.ID
+	Mode Mode
+	Via  []stream.ID // sorted; empty for Direct elements
+}
+
+// HPSet is the set of streams that can block one stream (the paper's
+// HP_i). Following the pseudocode, Generate_HP inserts the owner itself
+// as a direct element and Cal_U removes it before building the diagram.
+type HPSet struct {
+	Owner stream.ID
+	Elems []HPElem // sorted by ID
+}
+
+// Get returns the element with the given ID, or nil.
+func (h *HPSet) Get(id stream.ID) *HPElem {
+	for i := range h.Elems {
+		if h.Elems[i].ID == id {
+			return &h.Elems[i]
+		}
+	}
+	return nil
+}
+
+// WithoutOwner returns the elements excluding the owner itself (the
+// first line of Cal_U).
+func (h *HPSet) WithoutOwner() []HPElem {
+	out := make([]HPElem, 0, len(h.Elems))
+	for _, e := range h.Elems {
+		if e.ID != h.Owner {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the set in the paper's notation, e.g.
+// "HP_4 = {(0,INDIRECT,(2)), (2,DIRECT), ...}".
+func (h *HPSet) String() string {
+	s := fmt.Sprintf("HP_%d = {", h.Owner)
+	for i, e := range h.Elems {
+		if i > 0 {
+			s += ", "
+		}
+		if e.Mode == Direct {
+			s += fmt.Sprintf("(%d,DIRECT)", e.ID)
+		} else {
+			s += fmt.Sprintf("(%d,INDIRECT,%v)", e.ID, e.Via)
+		}
+	}
+	return s + "}"
+}
+
+// BuildHPSets constructs the HP set of every stream in the set (the
+// paper's Generate_HP, run for all streams from the highest priority
+// level down).
+//
+// Construction rules, matching §4.1 and the worked example:
+//
+//   - The owner itself is a DIRECT element (removed again by Cal_U).
+//   - Every other stream of higher or equal priority whose path shares
+//     a directed physical channel with the owner's path is a DIRECT
+//     element (equal-priority overlapping streams are "mutually
+//     influential", Figure 3).
+//   - The HP sets of the owner's direct blockers are folded in: an
+//     element e of HP_D (D direct for the owner) becomes an INDIRECT
+//     element of the owner's set unless it is already direct. Its Via
+//     records the streams through which the blocking propagates: D
+//     itself when e directly blocks D, or e's own intermediates in HP_D
+//     when e is indirect there (preserving blocking-chain structure —
+//     Figure 5's chain M1 -> M2 -> M3 -> M4 yields Via(M1) = {M2},
+//     Via(M2) = {M3}).
+//
+// Folding iterates to a fixpoint so that mutually-blocking equal
+// priority streams (whose HP sets reference each other) are handled;
+// the sets grow monotonically, so iteration terminates.
+func BuildHPSets(set *stream.Set) []HPSet {
+	n := set.Len()
+	// direct[j] = IDs of direct blockers of j (including j itself).
+	direct := make([][]stream.ID, n)
+	for j, sj := range set.Streams {
+		direct[j] = append(direct[j], sj.ID)
+		for k, sk := range set.Streams {
+			if k == j || sk.Priority < sj.Priority {
+				continue
+			}
+			if sk.Path.Overlaps(sj.Path) {
+				direct[j] = append(direct[j], sk.ID)
+			}
+		}
+	}
+
+	type entry struct {
+		mode Mode
+		via  map[stream.ID]bool
+	}
+	hp := make([]map[stream.ID]*entry, n)
+	for j := range hp {
+		hp[j] = make(map[stream.ID]*entry)
+		for _, id := range direct[j] {
+			hp[j][id] = &entry{mode: Direct}
+		}
+	}
+
+	order := set.ByPriorityDesc()
+	for changed := true; changed; {
+		changed = false
+		for _, sj := range order {
+			j := int(sj.ID)
+			for _, d := range direct[j] {
+				if d == sj.ID {
+					continue
+				}
+				for eid, ee := range hp[d] {
+					if eid == sj.ID || eid == d {
+						continue
+					}
+					cur, ok := hp[j][eid]
+					if ok && cur.mode == Direct {
+						continue
+					}
+					if !ok {
+						cur = &entry{mode: Indirect, via: map[stream.ID]bool{}}
+						hp[j][eid] = cur
+						changed = true
+					}
+					// Intermediates: D itself if e directly blocks D,
+					// otherwise e's intermediates within HP_D (minus
+					// the owner, which cannot relay blocking to
+					// itself; fall back to D if that empties the set).
+					var contrib []stream.ID
+					if ee.mode == Direct {
+						contrib = []stream.ID{d}
+					} else {
+						for v := range ee.via {
+							if v != sj.ID {
+								contrib = append(contrib, v)
+							}
+						}
+						if len(contrib) == 0 {
+							contrib = []stream.ID{d}
+						}
+					}
+					for _, v := range contrib {
+						if !cur.via[v] {
+							cur.via[v] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	out := make([]HPSet, n)
+	for j := range hp {
+		h := HPSet{Owner: stream.ID(j)}
+		ids := make([]stream.ID, 0, len(hp[j]))
+		for id := range hp[j] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			e := hp[j][id]
+			elem := HPElem{ID: id, Mode: e.mode}
+			if e.mode == Indirect {
+				for v := range e.via {
+					elem.Via = append(elem.Via, v)
+				}
+				sort.Slice(elem.Via, func(a, b int) bool { return elem.Via[a] < elem.Via[b] })
+			}
+			h.Elems = append(h.Elems, elem)
+		}
+		out[j] = h
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// TestWorkedExampleHPSets reproduces the HP sets of §4.4. The paper
+// prints
+//
+//	HP_0 = {(0,DIRECT)}
+//	HP_1 = {(1,DIRECT)}
+//	HP_2 = {(0,DIRECT), (1,DIRECT), (2,DIRECT)}
+//	HP_3 = {(1,DIRECT), (3,DIRECT)}
+//	HP_4 = {(0,INDIRECT,(2)), (1,INDIRECT,(2,3)), (2,DIRECT), (3,DIRECT), (4,DIRECT)}
+//
+// HP_0, HP_1, HP_2 and HP_4 are reproduced exactly. For HP_3 the
+// paper's printed set omits M2 and M0, but under X-Y routing M2's path
+// ((2,1)->(7,5)) and M3's path ((4,1)->(8,5)) share the row-1 channels
+// (4,1)->(5,1)..(6,1)->(7,1) — indeed under ANY dimension-order routing
+// both streams traverse the same +4 second-coordinate segment with
+// overlapping first-coordinate ranges, so an overlap is geometrically
+// unavoidable. The consistent set therefore also contains M2 (direct)
+// and M0 (indirect via M2); see EXPERIMENTS.md.
+func TestWorkedExampleHPSets(t *testing.T) {
+	set := paperExample(t)
+	hps := BuildHPSets(set)
+
+	type want struct {
+		id   stream.ID
+		mode Mode
+		via  []stream.ID
+	}
+	cases := map[stream.ID][]want{
+		0: {{0, Direct, nil}},
+		1: {{1, Direct, nil}},
+		2: {{0, Direct, nil}, {1, Direct, nil}, {2, Direct, nil}},
+		3: {{0, Indirect, []stream.ID{2}}, {1, Direct, nil}, {2, Direct, nil}, {3, Direct, nil}},
+		4: {{0, Indirect, []stream.ID{2}}, {1, Indirect, []stream.ID{2, 3}}, {2, Direct, nil}, {3, Direct, nil}, {4, Direct, nil}},
+	}
+	for owner, wants := range cases {
+		hp := hps[owner]
+		if hp.Owner != owner {
+			t.Fatalf("HP owner = %d, want %d", hp.Owner, owner)
+		}
+		if len(hp.Elems) != len(wants) {
+			t.Fatalf("HP_%d = %s, want %d elements", owner, hp.String(), len(wants))
+		}
+		for i, w := range wants {
+			e := hp.Elems[i]
+			if e.ID != w.id || e.Mode != w.mode {
+				t.Fatalf("HP_%d[%d] = (%d,%s), want (%d,%s)", owner, i, e.ID, e.Mode, w.id, w.mode)
+			}
+			if len(e.Via) != len(w.via) {
+				t.Fatalf("HP_%d[%d].Via = %v, want %v", owner, i, e.Via, w.via)
+			}
+			for j := range w.via {
+				if e.Via[j] != w.via[j] {
+					t.Fatalf("HP_%d[%d].Via = %v, want %v", owner, i, e.Via, w.via)
+				}
+			}
+		}
+	}
+}
+
+func TestHPSetHelpers(t *testing.T) {
+	set := paperExample(t)
+	hps := BuildHPSets(set)
+	hp4 := hps[4]
+	if hp4.Get(1) == nil || hp4.Get(1).Mode != Indirect {
+		t.Fatal("Get(1) should find indirect element")
+	}
+	if hp4.Get(99) != nil {
+		t.Fatal("Get(99) should be nil")
+	}
+	wo := hp4.WithoutOwner()
+	if len(wo) != 4 {
+		t.Fatalf("WithoutOwner has %d elements, want 4", len(wo))
+	}
+	for _, e := range wo {
+		if e.ID == 4 {
+			t.Fatal("WithoutOwner retained owner")
+		}
+	}
+	s := hp4.String()
+	if !strings.Contains(s, "HP_4") || !strings.Contains(s, "INDIRECT") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestHighestPriorityHasEmptyHPSet: the unique highest-priority stream
+// can never be blocked (Figure 3's message D).
+func TestHighestPriorityHasEmptyHPSet(t *testing.T) {
+	set := paperExample(t)
+	hps := BuildHPSets(set)
+	if got := hps[0].WithoutOwner(); len(got) != 0 {
+		t.Fatalf("HP_0 without owner = %v, want empty", got)
+	}
+}
+
+// TestEqualPriorityMutualBlocking reproduces the Figure 3 structure:
+// two equal-priority overlapping streams appear in each other's HP set
+// as direct elements, and a higher-priority stream overlapping both is
+// indirect for a stream that only overlaps the pair.
+func TestEqualPriorityMutualBlocking(t *testing.T) {
+	m := topology.NewMesh2D(10, 10)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	// Row 0: A (priority 1) crosses B and C (priority 2) which both
+	// cross D (priority 3) on a shared column.
+	// Layout: A runs along row 0; B and C run down column 5 in two
+	// overlapping spans; D runs along row 9.
+	// A: (0,0) -> (9,0)   -- row 0, crosses nothing vertical... so use
+	// explicit overlapping segments instead:
+	// A: (0,0)->(6,0): row-0 channels x:0..6.
+	// B: (2,0)->(4,0): row-0 channels x:2..4 (overlaps A) then none.
+	// C: (3,0)->(5,0): row-0 channels x:3..5 (overlaps A and B).
+	// D: (4,0)->(4,0) invalid; D must overlap B and C but not A:
+	// impossible on the same row. Use vertical: B: (5,0)->(5,5),
+	// C: (5,2)->(5,7), D: (5,4)->(5,9); A: (0,1)... A must overlap B
+	// and C but not D: A: (5,0)->(5,3) overlaps B (y:0..3) and C
+	// (y:2..3) but not D (y>=4).
+	mustAdd := func(sx, sy, dx, dy, p int) *stream.Stream {
+		s, err := set.Add(r, m.ID(sx, sy), m.ID(dx, dy), p, 100, 2, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := mustAdd(5, 0, 5, 3, 1) // M0 = A, lowest priority
+	b := mustAdd(5, 0, 5, 5, 2) // M1 = B
+	c := mustAdd(5, 2, 5, 7, 2) // M2 = C, same priority as B
+	d := mustAdd(5, 4, 5, 9, 3) // M3 = D, highest priority
+
+	hps := BuildHPSets(set)
+	// B and C are mutually influential.
+	if e := hps[b.ID].Get(c.ID); e == nil || e.Mode != Direct {
+		t.Fatalf("HP_B should contain C direct: %s", hps[b.ID].String())
+	}
+	if e := hps[c.ID].Get(b.ID); e == nil || e.Mode != Direct {
+		t.Fatalf("HP_C should contain B direct: %s", hps[c.ID].String())
+	}
+	// D is direct for both B and C.
+	if e := hps[b.ID].Get(d.ID); e == nil || e.Mode != Direct {
+		t.Fatalf("HP_B should contain D direct: %s", hps[b.ID].String())
+	}
+	// A's HP set: B and C direct, D indirect with both B and C as
+	// intermediates (two blocking chains, as in Figure 3).
+	hpA := hps[a.ID]
+	if e := hpA.Get(b.ID); e == nil || e.Mode != Direct {
+		t.Fatalf("HP_A should contain B direct: %s", hpA.String())
+	}
+	if e := hpA.Get(c.ID); e == nil || e.Mode != Direct {
+		t.Fatalf("HP_A should contain C direct: %s", hpA.String())
+	}
+	e := hpA.Get(d.ID)
+	if e == nil || e.Mode != Indirect {
+		t.Fatalf("HP_A should contain D indirect: %s", hpA.String())
+	}
+	if len(e.Via) != 2 || e.Via[0] != b.ID || e.Via[1] != c.ID {
+		t.Fatalf("D's blocking chains should be via B and C, got %v", e.Via)
+	}
+}
+
+// TestDeepBlockingChain reproduces the Figure 5 structure: a linear
+// chain M1 -> M2 -> M3 -> M4 where each stream only overlaps its
+// neighbour. The HP set of M4 must record M2 indirect via M3 and M1
+// indirect via M2 (chain structure preserved, not flattened).
+func TestDeepBlockingChain(t *testing.T) {
+	m := topology.NewMesh2D(12, 12)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	mustAdd := func(sx, sy, dx, dy, p int) *stream.Stream {
+		s, err := set.Add(r, m.ID(sx, sy), m.ID(dx, dy), p, 100, 2, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Column 3 segments: m1 y:0..3, m2 y:2..5, m3 y:4..7, m4 y:6..9.
+	m1 := mustAdd(3, 0, 3, 3, 4)
+	m2 := mustAdd(3, 2, 3, 5, 3)
+	m3 := mustAdd(3, 4, 3, 7, 2)
+	m4 := mustAdd(3, 6, 3, 9, 1)
+
+	hps := BuildHPSets(set)
+	hp4 := hps[m4.ID]
+	if e := hp4.Get(m3.ID); e == nil || e.Mode != Direct {
+		t.Fatalf("M3 should be direct in HP_4: %s", hp4.String())
+	}
+	e2 := hp4.Get(m2.ID)
+	if e2 == nil || e2.Mode != Indirect || len(e2.Via) != 1 || e2.Via[0] != m3.ID {
+		t.Fatalf("M2 should be indirect via M3 in HP_4: %s", hp4.String())
+	}
+	e1 := hp4.Get(m1.ID)
+	if e1 == nil || e1.Mode != Indirect || len(e1.Via) != 1 || e1.Via[0] != m2.ID {
+		t.Fatalf("M1 should be indirect via M2 in HP_4: %s", hp4.String())
+	}
+}
+
+// TestLowerPriorityNeverInHPSet: HP sets only contain streams of higher
+// or equal priority.
+func TestLowerPriorityNeverInHPSet(t *testing.T) {
+	set := paperExample(t)
+	hps := BuildHPSets(set)
+	for _, hp := range hps {
+		owner := set.Get(hp.Owner)
+		for _, e := range hp.Elems {
+			if set.Get(e.ID).Priority < owner.Priority {
+				t.Fatalf("HP_%d contains lower-priority stream %d", hp.Owner, e.ID)
+			}
+		}
+	}
+}
+
+// TestDisjointStreamsHaveSingletonHPSets: streams with pairwise
+// disjoint paths never block each other.
+func TestDisjointStreamsHaveSingletonHPSets(t *testing.T) {
+	m := topology.NewMesh2D(10, 10)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	for i := 0; i < 5; i++ {
+		// Parallel horizontal streams, one per row.
+		if _, err := set.Add(r, m.ID(0, i), m.ID(9, i), i+1, 50, 3, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, hp := range BuildHPSets(set) {
+		if got := hp.WithoutOwner(); len(got) != 0 {
+			t.Fatalf("HP_%d = %s, want only self", hp.Owner, hp.String())
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// DetermineFeasibilityParallel is DetermineFeasibility with the
+// per-stream Cal_U computations fanned out over a worker pool. Every
+// stream's bound only reads the shared HP sets and builds its own
+// timing diagram, so the streams are embarrassingly parallel; results
+// are identical to the sequential test. workers <= 0 uses GOMAXPROCS.
+func DetermineFeasibilityParallel(set *stream.Set, workers int) (*Report, error) {
+	a, err := NewAnalyzer(set)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > set.Len() {
+		workers = set.Len()
+	}
+	rep := &Report{Feasible: true, Verdicts: make([]Verdict, set.Len())}
+	// Buffered so the producer never blocks even if workers bail out on
+	// an error.
+	jobs := make(chan stream.ID, set.Len())
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				u, err := a.CalU(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				s := set.Get(id)
+				// Verdict slots are disjoint per worker; no lock needed.
+				rep.Verdicts[id] = Verdict{
+					ID: id, U: u, Deadline: s.Deadline,
+					Feasible: u >= 0 && u <= s.Deadline,
+				}
+			}
+		}()
+	}
+	for _, s := range set.Streams {
+		jobs <- s.ID
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, fmt.Errorf("core: parallel feasibility: %w", err)
+	default:
+	}
+	for _, v := range rep.Verdicts {
+		if !v.Feasible {
+			rep.Feasible = false
+		}
+	}
+	return rep, nil
+}

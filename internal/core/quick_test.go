@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+// randElements is a quick.Generator-style helper: a valid random HP
+// element list (unique IDs, positive periods/lengths, optional indirect
+// elements whose vias point at other listed elements).
+type randElements []Element
+
+// Generate implements quick.Generator.
+func (randElements) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(6)
+	elems := make([]Element, n)
+	for i := range elems {
+		elems[i] = Element{
+			ID:       stream.ID(i),
+			Priority: n - i,
+			Period:   2 + r.Intn(20),
+			Length:   1 + r.Intn(6),
+			Mode:     Direct,
+		}
+	}
+	// Mark a random suffix indirect with vias into the remaining set.
+	for i := 0; i < n-1; i++ {
+		if r.Intn(2) == 0 {
+			elems[i].Mode = Indirect
+			nvia := 1 + r.Intn(2)
+			for v := 0; v < nvia; v++ {
+				via := stream.ID(i + 1 + r.Intn(n-i-1))
+				elems[i].Via = append(elems[i].Via, via)
+			}
+		}
+	}
+	return reflect.ValueOf(randElements(elems))
+}
+
+// TestQuickSlotConservation: in the initial diagram every element's
+// allocated slots per window never exceed its demand, and each column
+// is allocated by at most one row.
+func TestQuickSlotConservation(t *testing.T) {
+	f := func(re randElements) bool {
+		elems := []Element(re)
+		for i := range elems {
+			elems[i].Mode = Direct
+			elems[i].Via = nil
+		}
+		d, err := NewDiagram(elems, 120)
+		if err != nil {
+			return false
+		}
+		// At most one ALLOCATED per column across rows.
+		for col := 0; col < 120; col++ {
+			owners := 0
+			for _, e := range elems {
+				row, _ := d.Row(e.ID)
+				if row[col] == Allocated {
+					owners++
+				}
+			}
+			if owners > 1 {
+				return false
+			}
+		}
+		// Per-window allocation <= Length.
+		for _, e := range elems {
+			row, _ := d.Row(e.ID)
+			for start := 0; start < 120; start += e.Period {
+				got := 0
+				for l := 0; l < e.Period && start+l < 120; l++ {
+					if row[start+l] == Allocated {
+						got++
+					}
+				}
+				if got > e.Length {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickModifyNeverIncreasesBound: applying Modify can only release
+// capacity, so the bound never grows, for any required latency.
+func TestQuickModifyNeverIncreasesBound(t *testing.T) {
+	f := func(re randElements, reqRaw uint8) bool {
+		elems := []Element(re)
+		req := 1 + int(reqRaw%30)
+		before, err := NewDiagram(elems, 200)
+		if err != nil {
+			return false
+		}
+		uBefore := before.DelayUpperBound(req)
+		after, err := NewDiagram(elems, 200)
+		if err != nil {
+			return false
+		}
+		after.Modify()
+		uAfter := after.DelayUpperBound(req)
+		if uBefore == -1 {
+			return true // not found before; after may or may not find it
+		}
+		return uAfter != -1 && uAfter <= uBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickModifyMonotone: Modify is a single pass, as in the paper's
+// pseudocode, so it is not necessarily a fixpoint — but re-running it
+// can only release more capacity: the result-row free count never
+// decreases and the bound never increases.
+func TestQuickModifyMonotone(t *testing.T) {
+	f := func(re randElements, reqRaw uint8) bool {
+		elems := []Element(re)
+		req := 1 + int(reqRaw%30)
+		once, err := NewDiagram(elems, 150)
+		if err != nil {
+			return false
+		}
+		once.Modify()
+		twice, err := NewDiagram(elems, 150)
+		if err != nil {
+			return false
+		}
+		twice.Modify()
+		twice.Modify()
+		if twice.FreeSlots(150) < once.FreeSlots(150) {
+			return false
+		}
+		u1, u2 := once.DelayUpperBound(req), twice.DelayUpperBound(req)
+		if u1 == -1 {
+			return true
+		}
+		return u2 != -1 && u2 <= u1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBoundMonotoneInRequired: U is non-decreasing in the required
+// number of free slots.
+func TestQuickBoundMonotoneInRequired(t *testing.T) {
+	f := func(re randElements) bool {
+		d, err := NewDiagram([]Element(re), 200)
+		if err != nil {
+			return false
+		}
+		d.Modify()
+		prev := 0
+		for req := 1; req <= 20; req++ {
+			u := d.DelayUpperBound(req)
+			if u == -1 {
+				return true // once unbounded, larger req is unbounded too
+			}
+			if u < prev {
+				return false
+			}
+			prev = u
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHorizonExtensionConsistent: extending the horizon never
+// changes the result row in the region whose windows (transitively
+// through via chains) are complete within the short horizon — the
+// stability margin CalUSearchCap relies on. Columns within the margin
+// of the boundary may legitimately differ because a truncated window
+// places and releases demand differently from its complete version.
+func TestQuickHorizonExtensionConsistent(t *testing.T) {
+	f := func(re randElements) bool {
+		elems := []Element(re)
+		maxT := 0
+		for _, e := range elems {
+			if e.Period > maxT {
+				maxT = e.Period
+			}
+		}
+		margin := maxT * (len(elems) + 1)
+		const shortH = 120
+		stable := shortH - margin
+		if stable <= 0 {
+			return true
+		}
+		short, err := NewDiagram(elems, shortH)
+		if err != nil {
+			return false
+		}
+		short.Modify()
+		long, err := NewDiagram(elems, 2*shortH)
+		if err != nil {
+			return false
+		}
+		long.Modify()
+		a, b := short.ResultRow(), long.ResultRow()
+		for i := 0; i < stable; i++ {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHPSetContainsAllOverlapping: every higher-or-equal-priority
+// stream with an overlapping path appears as a DIRECT element.
+func TestQuickHPSetContainsAllOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		set := randomMeshSet(t, rng, 3+rng.Intn(8))
+		hps := BuildHPSets(set)
+		for _, sj := range set.Streams {
+			for _, sk := range set.Streams {
+				if sk.ID == sj.ID || sk.Priority < sj.Priority {
+					continue
+				}
+				if sk.Path.Overlaps(sj.Path) {
+					e := hps[sj.ID].Get(sk.ID)
+					if e == nil || e.Mode != Direct {
+						t.Fatalf("trial %d: overlapping %d missing/indirect in HP_%d: %s",
+							trial, sk.ID, sj.ID, hps[sj.ID].String())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickHPSetViaAreMembers: every via of an indirect element is
+// itself an element of the same HP set.
+func TestQuickHPSetViaAreMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		set := randomMeshSet(t, rng, 3+rng.Intn(10))
+		for _, hp := range BuildHPSets(set) {
+			for _, e := range hp.Elems {
+				for _, v := range e.Via {
+					if hp.Get(v) == nil {
+						t.Fatalf("trial %d: via %d of %d not in HP_%d: %s", trial, v, e.ID, hp.Owner, hp.String())
+					}
+					if v == hp.Owner {
+						t.Fatalf("trial %d: owner listed as its own intermediate: %s", trial, hp.String())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the diagram as ASCII art in the style of the paper's
+// Figures 4, 6, 7 and 9: one line per HP element plus the result row,
+// '#' for ALLOCATED, 'w' for WAITING, '-' for BUSY and '.' for FREE,
+// with a time ruler every ten slots. maxCols truncates wide diagrams
+// (0 means the full horizon).
+func (d *Diagram) Render(maxCols int) string {
+	cols := d.Horizon
+	if maxCols > 0 && maxCols < cols {
+		cols = maxCols
+	}
+	var b strings.Builder
+	b.WriteString("      ")
+	for c := 0; c < cols; c++ {
+		t := c + 1
+		if t%10 == 0 {
+			b.WriteString(fmt.Sprintf("%d", (t/10)%10))
+		} else if t%5 == 0 {
+			b.WriteByte('+')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+	for i, e := range d.Elements {
+		mark := " "
+		if e.Mode == Indirect {
+			mark = "*"
+		}
+		b.WriteString(fmt.Sprintf("M%-3d%s ", e.ID, mark))
+		for c := 0; c < cols; c++ {
+			b.WriteString(d.cells[i][c].String())
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("result")
+	for c := 0; c < cols; c++ {
+		b.WriteString(d.cells[len(d.cells)-1][c].String())
+	}
+	b.WriteByte('\n')
+	b.WriteString("legend: #=ALLOCATED w=WAITING -=BUSY .=FREE (*=indirect element)\n")
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// randomMeshSet builds n random streams on an 8x8 mesh with priorities
+// drawn from 1..4 and generous periods.
+func randomMeshSet(t testing.TB, rng *rand.Rand, n int) *stream.Set {
+	t.Helper()
+	m := topology.NewMesh2D(8, 8)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	for i := 0; i < n; i++ {
+		src := rng.Intn(64)
+		dst := rng.Intn(64)
+		if src == dst {
+			dst = (dst + 1) % 64
+		}
+		if _, err := set.Add(r, topology.NodeID(src), topology.NodeID(dst),
+			1+rng.Intn(4), 80+rng.Intn(120), 1+rng.Intn(10), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return set
+}
+
+// paperExample builds the worked example of §4.4: five streams on a
+// 10×10 mesh with X-Y routing. Seven-tuples from the paper:
+//
+//	M0 = ((7,3),(7,7), P=5, T=15, C=4, D=15, L=7)
+//	M1 = ((1,1),(5,4), P=4, T=10, C=2, D=10, L=8)
+//	M2 = ((2,1),(7,5), P=3, T=40, C=4, D=40, L=12)
+//	M3 = ((4,1),(8,5), P=2, T=45, C=9, D=45, L=16)
+//	M4 = ((6,1),(9,3), P=1, T=50, C=6, D=50, L=10)
+func paperExample(t testing.TB) *stream.Set {
+	t.Helper()
+	m := topology.NewMesh2D(10, 10)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	add := func(sx, sy, dx, dy, p, period, c, d int) {
+		if _, err := set.Add(r, m.ID(sx, sy), m.ID(dx, dy), p, period, c, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(7, 3, 7, 7, 5, 15, 4, 15)
+	add(1, 1, 5, 4, 4, 10, 2, 10)
+	add(2, 1, 7, 5, 3, 40, 4, 40)
+	add(4, 1, 8, 5, 2, 45, 9, 45)
+	add(6, 1, 9, 3, 1, 50, 6, 50)
+	return set
+}
+
+// figure4Elements are the abstract streams of the paper's Figure 4:
+// M1 (T=10, C=2), M2 (T=15, C=3), M3 (T=13, C=4), all direct blockers
+// of the analysed stream M4 whose network latency is 6.
+func figure4Elements() []Element {
+	return []Element{
+		{ID: 1, Priority: 4, Period: 10, Length: 2, Mode: Direct},
+		{ID: 2, Priority: 3, Period: 15, Length: 3, Mode: Direct},
+		{ID: 3, Priority: 2, Period: 13, Length: 4, Mode: Direct},
+	}
+}
+
+// figure6Elements are the same streams with the blocking chain of
+// Figures 5/6: M1 indirect through M2, M2 indirect through M3, M3
+// direct.
+func figure6Elements() []Element {
+	return []Element{
+		{ID: 1, Priority: 4, Period: 10, Length: 2, Mode: Indirect, Via: []stream.ID{2}},
+		{ID: 2, Priority: 3, Period: 15, Length: 3, Mode: Indirect, Via: []stream.ID{3}},
+		{ID: 3, Priority: 2, Period: 13, Length: 4, Mode: Direct},
+	}
+}

@@ -1,0 +1,64 @@
+package crosscheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCampaignRuns: a small campaign completes, checks a plausible
+// number of bounds, and any violation it finds is attributable to
+// same-priority VC sharing.
+func TestCampaignRuns(t *testing.T) {
+	rep, err := Run(Config{Trials: 3, Streams: 12, PLevels: 4, Seed: 5, Cycles: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked < 20 {
+		t.Fatalf("checked only %d bounds", rep.Checked)
+	}
+	if rep.WorstRatio <= 0 {
+		t.Fatalf("worst ratio %f", rep.WorstRatio)
+	}
+	for _, v := range rep.Violations {
+		if v.SamePriorityOverlaps == 0 {
+			t.Fatalf("violation without same-priority sharing — a genuine analysis bug: %s", v)
+		}
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "crosscheck: 3 trials") {
+		t.Fatalf("format: %s", out)
+	}
+}
+
+// TestDistinctPrioritiesAreClean: with one stream per priority level
+// there is no VC sharing, so the bounds must hold unconditionally.
+func TestDistinctPrioritiesAreClean(t *testing.T) {
+	rep, err := Run(Config{Trials: 4, Streams: 10, PLevels: 64, Seed: 11, Cycles: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 64 levels over 10 streams, same-priority collisions are
+	// rare; any violation must still involve VC sharing.
+	for _, v := range rep.Violations {
+		if v.SamePriorityOverlaps == 0 {
+			t.Fatalf("violation without sharing: %s", v)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Trials != 10 || c.Streams != 20 || c.PLevels != 4 || c.Cycles != 30000 || c.Warmup != 200 || c.UCap != 1<<16 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Trial: 1, Seed: 2, Stream: 3, Priority: 4, U: 10, MaxLatency: 12, SamePriorityOverlaps: 1}
+	s := v.String()
+	for _, want := range []string{"trial 1", "M3", "12 > U 10", "1 same-priority"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package e2e
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// controlSystem builds a 2-node sensing -> actuation chain plus an
+// interfering task and an interfering stream.
+func controlSystem(t *testing.T) *System {
+	t.Helper()
+	m := topology.NewMesh2D(4, 1)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	// Stream 0: sensor (node 0) -> actuator (node 3), priority 2.
+	if _, err := set.Add(r, 0, 3, 2, 50, 4, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Stream 1: interfering higher-priority stream on the same row.
+	if _, err := set.Add(r, 1, 3, 3, 40, 6, 40); err != nil {
+		t.Fatal(err)
+	}
+	return &System{
+		Tasks: []Task{
+			{Name: "sense", Node: 0, WCET: 5, Period: 50, Priority: 2},
+			{Name: "act", Node: 3, WCET: 4, Period: 50, Priority: 2},
+			{Name: "hk", Node: 0, WCET: 3, Period: 20, Priority: 3}, // housekeeping preempts sense
+		},
+		Set: set,
+		Chains: []Chain{
+			{Name: "control-loop", Tasks: []int{0, 1}, Streams: []stream.ID{0}, Deadline: 60},
+		},
+	}
+}
+
+func TestTaskResponseTime(t *testing.T) {
+	sys := controlSystem(t)
+	// sense: C=5, preempted by hk (C=3, T=20): R = 5 + ceil(R/20)*3 ->
+	// R=8 (ceil(8/20)=1).
+	r, err := sys.TaskResponseTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 8 {
+		t.Fatalf("R(sense) = %d, want 8", r)
+	}
+	// act alone on node 3: R = 4.
+	r, err = sys.TaskResponseTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 4 {
+		t.Fatalf("R(act) = %d, want 4", r)
+	}
+	if _, err := sys.TaskResponseTime(99); err == nil {
+		t.Fatal("accepted unknown task")
+	}
+}
+
+func TestTaskResponseTimeOverload(t *testing.T) {
+	sys := &System{Tasks: []Task{
+		{Name: "a", Node: 0, WCET: 10, Period: 10, Priority: 2},
+		{Name: "b", Node: 0, WCET: 1, Period: 10, Priority: 1},
+	}}
+	r, err := sys.TaskResponseTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != -1 {
+		t.Fatalf("R = %d, want -1 (node saturated)", r)
+	}
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	sys := controlSystem(t)
+	rep, err := sys.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Chains[0]
+	// Bound = R(sense)=8 + U(stream0) + R(act)=4. Stream 0 is blocked
+	// by stream 1 (6 flits): U = L(6) + interference.
+	if c.TaskPart != 12 {
+		t.Fatalf("task part = %d, want 12", c.TaskPart)
+	}
+	if c.CommsPart < sys.Set.Get(0).Latency {
+		t.Fatalf("comms part %d below network latency", c.CommsPart)
+	}
+	if c.Bound != c.TaskPart+c.CommsPart {
+		t.Fatalf("bound composition wrong: %+v", c)
+	}
+	if !c.Feasible || !rep.Feasible {
+		t.Fatalf("chain should fit a 60 deadline: %+v", c)
+	}
+	if !strings.Contains(rep.Format(), "control-loop") {
+		t.Fatal("format missing chain")
+	}
+}
+
+func TestAnalyzeInfeasibleChain(t *testing.T) {
+	sys := controlSystem(t)
+	sys.Chains[0].Deadline = 15
+	rep, err := sys.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible || rep.Chains[0].Feasible {
+		t.Fatal("tight deadline should fail")
+	}
+	if !strings.Contains(rep.Format(), "MISSES DEADLINE") {
+		t.Fatal("format missing verdict")
+	}
+}
+
+func TestAnalyzeUnboundedComponent(t *testing.T) {
+	sys := controlSystem(t)
+	// Saturate node 0 with a higher-priority task.
+	sys.Tasks = append(sys.Tasks, Task{Name: "spin", Node: 0, WCET: 20, Period: 20, Priority: 9})
+	rep, err := sys.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chains[0].Bound != -1 || rep.Chains[0].Feasible {
+		t.Fatalf("saturated node should make the chain unbounded: %+v", rep.Chains[0])
+	}
+	if !strings.Contains(rep.Format(), "unbounded") {
+		t.Fatal("format missing unbounded")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := controlSystem(t)
+
+	tamper := func(f func(s *System)) *System {
+		s := controlSystem(t)
+		f(s)
+		return s
+	}
+	cases := []*System{
+		tamper(func(s *System) { s.Set = nil }),
+		tamper(func(s *System) { s.Chains[0].Tasks = nil }),
+		tamper(func(s *System) { s.Chains[0].Streams = nil }),
+		tamper(func(s *System) { s.Chains[0].Deadline = 0 }),
+		tamper(func(s *System) { s.Chains[0].Tasks = []int{0, 99} }),
+		tamper(func(s *System) { s.Chains[0].Streams = []stream.ID{77} }),
+		// Stream runs 0->3 but the chain claims tasks on nodes 0->0.
+		tamper(func(s *System) { s.Tasks[1].Node = 0 }),
+	}
+	for i, sys := range cases {
+		if err := sys.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+}
+
+// TestMultiHopChain: a 3-stage chain across the mesh composes three
+// response times and two stream bounds.
+func TestMultiHopChain(t *testing.T) {
+	m := topology.NewMesh2D(5, 1)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	if _, err := set.Add(r, 0, 2, 2, 60, 3, 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Add(r, 2, 4, 2, 60, 3, 60); err != nil {
+		t.Fatal(err)
+	}
+	sys := &System{
+		Tasks: []Task{
+			{Name: "a", Node: 0, WCET: 2, Period: 60, Priority: 1},
+			{Name: "b", Node: 2, WCET: 3, Period: 60, Priority: 1},
+			{Name: "c", Node: 4, WCET: 2, Period: 60, Priority: 1},
+		},
+		Set: set,
+		Chains: []Chain{
+			{Name: "pipe", Tasks: []int{0, 1, 2}, Streams: []stream.ID{0, 1}, Deadline: 30},
+		},
+	}
+	rep, err := sys.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Chains[0]
+	// tasks: 2+3+2 = 7; streams: L = 2+3-1 = 4 each, unblocked.
+	if c.TaskPart != 7 || c.CommsPart != 8 || c.Bound != 15 || !c.Feasible {
+		t.Fatalf("chain verdict: %+v", c)
+	}
+}

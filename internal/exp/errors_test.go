@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFigure2DefaultCycles(t *testing.T) {
+	rep, err := Figure2(0) // defaults to 10000
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["preemptiveMax"] != rep.Values["unloaded"] {
+		t.Fatalf("values: %v", rep.Values)
+	}
+}
+
+func TestWorkedExampleSetValid(t *testing.T) {
+	set, err := WorkedExampleSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 5 {
+		t.Fatalf("streams: %d", set.Len())
+	}
+}
+
+func TestRunTableBadPattern(t *testing.T) {
+	// Transpose on the 10x10 paper mesh is fine, but asking for more
+	// streams than the pattern can place must surface the error.
+	_, err := RunTable(TableSpec{Name: "x", Streams: 95, PLevels: 1, Trials: 1, Cycles: 1000, Pattern: 1 /* transpose */})
+	if err == nil {
+		t.Fatal("expected pattern placement error")
+	}
+}
+
+func TestLoadSweepArbiters(t *testing.T) {
+	// Li arbiter path through the sweep.
+	pts, err := LoadSweep(8, 2, 2, []float64{1.5}, sim.Li, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Delivered == 0 {
+		t.Fatal("nothing delivered under Li")
+	}
+}

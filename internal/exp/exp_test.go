@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperTableSpecs(t *testing.T) {
+	want := map[int][2]int{1: {20, 1}, 2: {60, 1}, 3: {20, 4}, 4: {20, 5}, 5: {60, 15}}
+	for n, w := range want {
+		spec, err := PaperTable(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Streams != w[0] || spec.PLevels != w[1] {
+			t.Fatalf("table %d: %d streams / %d levels, want %v", n, spec.Streams, spec.PLevels, w)
+		}
+		if spec.Cycles != 30000 || spec.Warmup != 200 {
+			t.Fatalf("table %d: cycles/warmup %d/%d", n, spec.Cycles, spec.Warmup)
+		}
+	}
+	if _, err := PaperTable(9); err == nil {
+		t.Fatal("accepted unknown table")
+	}
+}
+
+// TestTable1Shape: with a single priority level the bounds are loose —
+// the paper reports mean ratios below 0.5; we accept anything below
+// 0.75 as reproducing "loose", and require positive ratios.
+func TestTable1Shape(t *testing.T) {
+	spec, _ := PaperTable(1)
+	spec.Trials = 1
+	spec.Cycles = 15000
+	res, err := RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	r := res.Rows[0].MeanRatio
+	if r <= 0 || r >= 0.75 {
+		t.Fatalf("single-level mean ratio = %.3f, want loose (0, 0.75)", r)
+	}
+	if !strings.Contains(res.Format(), "Table 1") {
+		t.Fatal("Format missing title")
+	}
+}
+
+// TestTable3TopPriorityTight: with 4 levels over 20 streams the top
+// level's bound is tight (the paper's central claim: bounds are very
+// close to actual delays for high-priority messages).
+func TestTable3TopPriorityTight(t *testing.T) {
+	spec, _ := PaperTable(3)
+	spec.Trials = 2
+	spec.Cycles = 15000
+	res, err := RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TopRatio() < 0.8 {
+		t.Fatalf("top-priority mean ratio = %.3f, want >= 0.8\n%s", res.TopRatio(), res.Format())
+	}
+	if res.BottomRatio() > res.TopRatio() {
+		t.Fatalf("bottom ratio %.3f above top ratio %.3f", res.BottomRatio(), res.TopRatio())
+	}
+}
+
+// TestMoreLevelsTightenTopBound: the paper's observation that more
+// priority levels give better (higher) ratios, comparing 1 level
+// against 5 levels on the same 20-stream workload size.
+func TestMoreLevelsTightenTopBound(t *testing.T) {
+	one, err := RunTable(TableSpec{Name: "1 level", Streams: 20, PLevels: 1, Seed: 77, Trials: 2, Cycles: 15000, Warmup: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := RunTable(TableSpec{Name: "5 levels", Streams: 20, PLevels: 5, Seed: 77, Trials: 2, Cycles: 15000, Warmup: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if five.TopRatio() <= one.TopRatio() {
+		t.Fatalf("5-level top ratio %.3f not above 1-level ratio %.3f", five.TopRatio(), one.TopRatio())
+	}
+}
+
+func TestFigure4Report(t *testing.T) {
+	rep, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["U"] != 26 {
+		t.Fatalf("Figure 4 U = %d, want 26", rep.Values["U"])
+	}
+	if !strings.Contains(rep.Body, "legend") {
+		t.Fatal("missing diagram render")
+	}
+}
+
+func TestFigure6Report(t *testing.T) {
+	rep, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["U"] != 22 {
+		t.Fatalf("Figure 6 U = %d, want 22", rep.Values["U"])
+	}
+}
+
+func TestWorkedExampleReport(t *testing.T) {
+	rep, err := WorkedExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"U0": 7, "U1": 8, "U2": 26, "U3": 30, "U4": 33, "freeInitial": 7}
+	for k, v := range want {
+		if rep.Values[k] != v {
+			t.Fatalf("%s = %d, want %d", k, rep.Values[k], v)
+		}
+	}
+	for _, s := range []string{"HP_4", "Figure 8", "Figure 7", "Figure 9", "INDIRECT"} {
+		if !strings.Contains(rep.Body, s) {
+			t.Fatalf("report missing %q", s)
+		}
+	}
+}
+
+func TestFigure2Report(t *testing.T) {
+	rep, err := Figure2(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["preemptiveMax"] != rep.Values["unloaded"] {
+		t.Fatalf("preemptive max %d != unloaded %d", rep.Values["preemptiveMax"], rep.Values["unloaded"])
+	}
+	if rep.Values["nonpreemptiveMax"] < 5*rep.Values["unloaded"] {
+		t.Fatalf("no inversion: nonpreemptive max %d", rep.Values["nonpreemptiveMax"])
+	}
+}
+
+// TestRuleSweepSmall: a reduced-size sweep still shows the ratio
+// improving with the number of levels.
+func TestRuleSweepSmall(t *testing.T) {
+	res, err := RunRuleSweep(12, 0.85, 6, 5, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ratios) != 6 {
+		t.Fatalf("ratios = %v", res.Ratios)
+	}
+	if res.Ratios[5] <= res.Ratios[0] {
+		t.Fatalf("top ratio did not improve with levels: %v", res.Ratios)
+	}
+	if !strings.Contains(res.Format(), "|M| = 12") {
+		t.Fatal("Format missing header")
+	}
+}

@@ -1,0 +1,57 @@
+package exp
+
+import "testing"
+
+func TestWorkedExampleDiagrams(t *testing.T) {
+	initial, final, err := WorkedExampleDiagrams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial.FreeSlots(50) != 7 {
+		t.Fatalf("initial free slots = %d, want 7", initial.FreeSlots(50))
+	}
+	if u := final.DelayUpperBound(10); u != 33 {
+		t.Fatalf("final U = %d, want 33", u)
+	}
+}
+
+func TestFigureDiagramBuilders(t *testing.T) {
+	d4, err := Figure4Diagram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := d4.DelayUpperBound(6); u != 26 {
+		t.Fatalf("figure 4 U = %d", u)
+	}
+	d6, err := Figure6Diagram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := d6.DelayUpperBound(6); u != 22 {
+		t.Fatalf("figure 6 U = %d", u)
+	}
+}
+
+func TestTableSpecHelpers(t *testing.T) {
+	spec := TableSpec{Name: "x", Streams: 5, PLevels: 2}.withDefaults()
+	if spec.Trials != 1 || spec.Cycles != 30000 || spec.Warmup != 200 {
+		t.Fatalf("defaults: %+v", spec)
+	}
+	empty := &TableResult{}
+	if empty.TopRatio() != 0 || empty.BottomRatio() != 0 {
+		t.Fatal("empty ratios should be 0")
+	}
+}
+
+func TestPatternTable(t *testing.T) {
+	res, err := RunTable(TableSpec{
+		Name: "hotspot", Streams: 10, PLevels: 3, Seed: 3,
+		Trials: 1, Cycles: 4000, Warmup: 100, Pattern: 3, // workload.Hotspot
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Pinning the rendered figure bodies guards the
+// reproduction artifacts themselves against silent regressions in the
+// analysis, the renderer, or the worked-example wiring.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("output differs from %s (run with -update after verifying):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+func TestGoldenFigure4(t *testing.T) {
+	rep, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure4", rep.Body)
+}
+
+func TestGoldenFigure6(t *testing.T) {
+	rep, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "figure6", rep.Body)
+}
+
+func TestGoldenWorkedExample(t *testing.T) {
+	rep, err := WorkedExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "worked_example", rep.Body)
+}

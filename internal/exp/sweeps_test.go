@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLoadSweepShape(t *testing.T) {
+	scales := []float64{2.0, 1.0, 0.5}
+	pts, err := LoadSweep(15, 3, 9, scales, sim.Preemptive, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	// More load (smaller scale) never reduces mean latency
+	// significantly; allow small noise but require the heaviest point
+	// to be the worst.
+	if pts[2].MeanLat < pts[0].MeanLat {
+		t.Fatalf("latency should grow with load: %v", pts)
+	}
+	for _, p := range pts {
+		if p.Delivered == 0 || p.MeanLat <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+	}
+}
+
+// TestLoadSweepPreemptionProtectsTopPriority: at high load, the
+// top-priority mean latency under preemption stays below the
+// non-preemptive one.
+func TestLoadSweepPreemptionProtectsTopPriority(t *testing.T) {
+	scales := []float64{0.5}
+	pre, err := LoadSweep(15, 3, 9, scales, sim.Preemptive, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	non, err := LoadSweep(15, 3, 9, scales, sim.NonPreemptivePriority, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre[0].TopMeanLat > non[0].TopMeanLat {
+		t.Fatalf("preemption should protect the top priority under load: %.1f vs %.1f",
+			pre[0].TopMeanLat, non[0].TopMeanLat)
+	}
+}
+
+func TestLoadSweepValidation(t *testing.T) {
+	if _, err := LoadSweep(5, 2, 1, nil, sim.Preemptive, 1000); err == nil {
+		t.Fatal("accepted empty scales")
+	}
+	if _, err := LoadSweep(5, 2, 1, []float64{-1}, sim.Preemptive, 1000); err == nil {
+		t.Fatal("accepted negative scale")
+	}
+}
+
+func TestFormatLoadSweep(t *testing.T) {
+	pts, err := LoadSweep(10, 2, 3, []float64{1.0, 0.8}, sim.Preemptive, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatLoadSweep("load sweep", map[string][]LoadPoint{"preemptive": pts})
+	if !strings.Contains(out, "preemptive") || !strings.Contains(out, "1.00") {
+		t.Fatalf("format:\n%s", out)
+	}
+	if FormatLoadSweep("empty", map[string][]LoadPoint{}) == "" {
+		t.Fatal("empty sweep should still render a header")
+	}
+}
+
+// TestQuantizationSweepImproves: more VCs tighten the top-band ratio.
+func TestQuantizationSweepImproves(t *testing.T) {
+	pts, err := QuantizationSweep(16, []int{1, 8}, 5, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points: %+v", pts)
+	}
+	if pts[1].TopRatio <= pts[0].TopRatio {
+		t.Fatalf("8 VCs should beat 1 VC: %+v", pts)
+	}
+	if _, err := QuantizationSweep(16, []int{0}, 5, 1000); err == nil {
+		t.Fatal("accepted zero VCs")
+	}
+}
+
+// TestRouterLatencySweep: both the mean bound and the mean measured
+// latency grow with the router pipeline depth, and measurement never
+// exceeds bound on average.
+func TestRouterLatencySweep(t *testing.T) {
+	pts, err := RouterLatencySweep(10, 10, 4, []int{0, 2}, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points: %+v", pts)
+	}
+	if pts[1].MeanU <= pts[0].MeanU {
+		t.Fatalf("bound should grow with pipeline depth: %+v", pts)
+	}
+	if pts[1].MeanActual <= pts[0].MeanActual {
+		t.Fatalf("measured latency should grow with pipeline depth: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.MeanActual > p.MeanU {
+			t.Fatalf("mean measurement above mean bound: %+v", p)
+		}
+	}
+	if _, err := RouterLatencySweep(5, 2, 1, []int{-1}, 1000); err == nil {
+		t.Fatal("accepted negative depth")
+	}
+}

@@ -1,0 +1,104 @@
+// Package fault implements a static fault-recovery workflow for
+// real-time wormhole communication, the analysis counterpart of the
+// fault-tolerant real-time channels in the paper's related work (Zheng
+// & Shin [2]): when physical channels fail, every stream whose path
+// crosses a failed channel is re-routed around the fault with
+// breadth-first detour routing, and the delay-upper-bound feasibility
+// test is re-run on the recovered configuration.
+//
+// Recovery answers the operational question a host processor faces
+// after a fault: can the current real-time traffic contract still be
+// honoured, and at what cost in delay bounds?
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// Recovery is the outcome of re-routing a stream set around failed
+// channels.
+type Recovery struct {
+	// Recovered is the re-routed stream set (same parameters, new
+	// paths where needed).
+	Recovered *stream.Set
+	// Rerouted lists the streams whose paths changed.
+	Rerouted []stream.ID
+	// ExtraHops is the total path-length increase across all streams.
+	ExtraHops int
+	// Before and After are the feasibility reports of the original and
+	// recovered sets.
+	Before, After *core.Report
+}
+
+// Recover re-routes every stream of set that crosses a failed channel
+// using BFS detour routing (streams untouched by the fault keep their
+// original deterministic routes) and re-runs the feasibility test. It
+// returns an error when a stream's destination becomes unreachable or
+// when either analysis fails.
+func Recover(set *stream.Set, failed map[topology.Channel]bool) (*Recovery, error) {
+	if len(failed) == 0 {
+		return nil, fmt.Errorf("fault: no failed channels given")
+	}
+	before, err := core.DetermineFeasibility(set)
+	if err != nil {
+		return nil, err
+	}
+	detour := routing.NewDetour(set.Topology, failed)
+	recovered := stream.NewSet(set.Topology)
+	recovered.RouterLatency = set.RouterLatency
+	rec := &Recovery{Recovered: recovered, Before: before}
+	for _, s := range set.Streams {
+		path := s.Path
+		crosses := false
+		for _, ch := range path.Channels {
+			if failed[ch] {
+				crosses = true
+				break
+			}
+		}
+		if crosses {
+			path, err = detour.Route(s.Src, s.Dst)
+			if err != nil {
+				return nil, fmt.Errorf("fault: stream %d: %w", s.ID, err)
+			}
+			rec.Rerouted = append(rec.Rerouted, s.ID)
+			rec.ExtraHops += path.Hops() - s.Path.Hops()
+		}
+		ns := &stream.Stream{
+			ID:       stream.ID(recovered.Len()),
+			Src:      s.Src,
+			Dst:      s.Dst,
+			Priority: s.Priority,
+			Period:   s.Period,
+			Length:   s.Length,
+			Deadline: s.Deadline,
+			Latency:  stream.NetworkLatencyWithRouter(path.Hops(), s.Length, set.RouterLatency),
+			Path:     path,
+		}
+		recovered.Streams = append(recovered.Streams, ns)
+	}
+	if err := recovered.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: recovered set invalid: %w", err)
+	}
+	rec.After, err = core.DetermineFeasibility(recovered)
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Survives reports whether the traffic contract still holds after
+// recovery.
+func (r *Recovery) Survives() bool { return r.After.Feasible }
+
+// Summary renders the recovery outcome.
+func (r *Recovery) Summary() string {
+	s := fmt.Sprintf("fault recovery: %d streams re-routed, %d extra hops; feasible before=%v after=%v",
+		len(r.Rerouted), r.ExtraHops, r.Before.Feasible, r.After.Feasible)
+	return s
+}

@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+func meshSet(t *testing.T) (*stream.Set, *topology.Mesh2D) {
+	t.Helper()
+	m := topology.NewMesh2D(6, 6)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	add := func(sx, sy, dx, dy, p, period, c int) {
+		if _, err := set.Add(r, m.ID(sx, sy), m.ID(dx, dy), p, period, c, period); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 0, 5, 0, 3, 60, 4)
+	add(0, 1, 5, 1, 2, 80, 8)
+	add(0, 2, 5, 2, 1, 100, 12)
+	return set, m
+}
+
+func TestRecoverReroutesCrossingStreams(t *testing.T) {
+	set, m := meshSet(t)
+	// Kill one row-0 channel used only by stream 0.
+	failed := map[topology.Channel]bool{
+		{From: m.ID(2, 0), To: m.ID(3, 0)}: true,
+	}
+	rec, err := Recover(set, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rerouted) != 1 || rec.Rerouted[0] != 0 {
+		t.Fatalf("rerouted = %v, want [0]", rec.Rerouted)
+	}
+	// The detour must avoid the failed channel and add exactly 2 hops.
+	ns := rec.Recovered.Get(0)
+	for _, ch := range ns.Path.Channels {
+		if failed[ch] {
+			t.Fatalf("recovered path still uses failed channel %s", ch)
+		}
+	}
+	if rec.ExtraHops != 2 {
+		t.Fatalf("extra hops = %d, want 2", rec.ExtraHops)
+	}
+	// Latency recomputed for the longer path.
+	if ns.Latency != ns.Path.Hops()+ns.Length-1 {
+		t.Fatalf("latency %d inconsistent with detour path", ns.Latency)
+	}
+	// Untouched streams keep their routes.
+	if rec.Recovered.Get(1).Path.Hops() != set.Get(1).Path.Hops() {
+		t.Fatal("unaffected stream was re-routed")
+	}
+	if !rec.Survives() {
+		t.Fatalf("light workload should survive one fault: %s", rec.Summary())
+	}
+	if rec.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRecoverUnreachable(t *testing.T) {
+	m := topology.NewMesh2D(2, 1)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	if _, err := set.Add(r, 0, 1, 1, 50, 2, 50); err != nil {
+		t.Fatal(err)
+	}
+	failed := map[topology.Channel]bool{{From: 0, To: 1}: true}
+	if _, err := Recover(set, failed); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+}
+
+func TestRecoverRequiresFaults(t *testing.T) {
+	set, _ := meshSet(t)
+	if _, err := Recover(set, nil); err == nil {
+		t.Fatal("accepted empty fault set")
+	}
+}
+
+// TestRecoveryCanBreakFeasibility: concentrating detours onto an
+// already-loaded row can push bounds past deadlines — the analysis
+// detects that the contract no longer holds.
+func TestRecoveryCanBreakFeasibility(t *testing.T) {
+	m := topology.NewMesh2D(6, 2)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	add := func(sx, sy, dx, dy, p, period, c, d int) {
+		if _, err := set.Add(r, m.ID(sx, sy), m.ID(dx, dy), p, period, c, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Row 0: a tightly-deadlined stream. Row 1: a heavy higher-priority
+	// stream (e.g. a system-critical bulk channel).
+	add(0, 0, 5, 0, 2, 40, 8, 16)  // L = 5+8-1 = 12, deadline 16
+	add(0, 1, 5, 1, 3, 40, 24, 60) // heavy, higher priority
+	before := mustRecoverable(t, set)
+	if !before.Before.Feasible {
+		t.Fatalf("baseline should be feasible: %+v", before.Before.Verdicts)
+	}
+	if before.Survives() {
+		t.Fatalf("detouring the heavy worm onto row 0 should break the tight deadline:\n%s", before.Summary())
+	}
+}
+
+func mustRecoverable(t *testing.T, set *stream.Set) *Recovery {
+	t.Helper()
+	m := set.Topology.(*topology.Mesh2D)
+	// Fail a row-1 channel so the heavy stream detours through row 0.
+	failed := map[topology.Channel]bool{
+		{From: m.ID(2, 1), To: m.ID(3, 1)}: true,
+	}
+	rec, err := Recover(set, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestDetourRouterProperties(t *testing.T) {
+	m := topology.NewMesh2D(5, 5)
+	failed := map[topology.Channel]bool{
+		{From: m.ID(1, 0), To: m.ID(2, 0)}: true,
+		{From: m.ID(1, 1), To: m.ID(2, 1)}: true,
+	}
+	d := routing.NewDetour(m, failed)
+	if d.Name() != "detour-bfs" {
+		t.Fatal("name wrong")
+	}
+	p, err := d.Route(m.ID(0, 0), m.ID(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range p.Channels {
+		if failed[ch] {
+			t.Fatalf("path uses failed channel %s", ch)
+		}
+	}
+	// Rows 0 and 1 are both cut at x=1->2, so the detour dips to row 2
+	// and back: 4 direct hops + 4 vertical hops.
+	if p.Hops() != 8 {
+		t.Fatalf("hops = %d, want 8", p.Hops())
+	}
+	// Self route and validation errors.
+	if p, err := d.Route(3, 3); err != nil || p.Hops() != 0 {
+		t.Fatal("self route should be empty")
+	}
+	if _, err := d.Route(-1, 3); err == nil {
+		t.Fatal("accepted bad source")
+	}
+	// Without faults, BFS matches the Manhattan distance.
+	open := routing.NewDetour(m, nil)
+	p2, err := open.Route(m.ID(0, 0), m.ID(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Hops() != 7 {
+		t.Fatalf("unfaulted BFS hops = %d, want 7", p2.Hops())
+	}
+}

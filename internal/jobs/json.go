@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/place"
+	"repro/internal/stream"
+)
+
+// DemandSpec is the JSON form of one communication demand.
+type DemandSpec struct {
+	From     int `json:"from"`
+	To       int `json:"to"`
+	Priority int `json:"priority"`
+	Period   int `json:"period"`
+	Length   int `json:"length"`
+	Deadline int `json:"deadline,omitempty"` // defaults to period
+}
+
+// JobSpec is the JSON form of one job.
+type JobSpec struct {
+	Name    string       `json:"name"`
+	Tasks   int          `json:"tasks"`
+	Demands []DemandSpec `json:"demands"`
+}
+
+// FileSpec is a whole admission scenario: a machine and the jobs to
+// admit, in order.
+type FileSpec struct {
+	Topology stream.TopologySpec `json:"topology"`
+	Jobs     []JobSpec           `json:"jobs"`
+}
+
+// Build converts the spec into a Job.
+func (js JobSpec) Build() (Job, error) {
+	j := Job{Name: js.Name, Graph: place.Problem{Tasks: js.Tasks}}
+	for _, d := range js.Demands {
+		j.Graph.Demands = append(j.Graph.Demands, place.Demand{
+			From: place.Task(d.From), To: place.Task(d.To),
+			Priority: d.Priority, Period: d.Period, Length: d.Length, Deadline: d.Deadline,
+		})
+	}
+	if err := j.Graph.Validate(); err != nil {
+		return Job{}, fmt.Errorf("jobs: job %q: %w", js.Name, err)
+	}
+	return j, nil
+}
+
+// DecodeFile reads an admission scenario: the controller for the
+// declared topology plus the jobs in admission order.
+func DecodeFile(r io.Reader) (*Controller, []Job, error) {
+	var spec FileSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, nil, fmt.Errorf("jobs: decode: %w", err)
+	}
+	topo, err := spec.Topology.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := NewController(topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Job
+	for _, js := range spec.Jobs {
+		j, err := js.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, j)
+	}
+	return c, out, nil
+}

@@ -1,0 +1,55 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeFile(t *testing.T) {
+	in := `{
+		"topology": {"kind": "mesh2d", "w": 4, "h": 4},
+		"jobs": [
+			{"name": "a", "tasks": 3, "demands": [
+				{"from": 0, "to": 1, "priority": 2, "period": 50, "length": 4},
+				{"from": 1, "to": 2, "priority": 2, "period": 50, "length": 4, "deadline": 30}
+			]},
+			{"name": "b", "tasks": 2, "demands": [
+				{"from": 0, "to": 1, "priority": 1, "period": 80, "length": 8}
+			]}
+		]
+	}`
+	ctl, queue, err := DecodeFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queue) != 2 || queue[0].Name != "a" || queue[1].Name != "b" {
+		t.Fatalf("queue: %+v", queue)
+	}
+	if queue[0].Graph.Demands[1].Deadline != 30 {
+		t.Fatalf("deadline lost: %+v", queue[0].Graph.Demands[1])
+	}
+	for _, j := range queue {
+		v, err := ctl.Admit(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Admitted {
+			t.Fatalf("%s rejected: %s", j.Name, v.Reason)
+		}
+	}
+}
+
+func TestDecodeFileErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"topology": {"kind": "nosuch"}, "jobs": []}`,
+		`{"topology": {"kind": "mesh2d", "w": 4, "h": 4}, "jobs": [{"name": "x", "tasks": 0, "demands": []}]}`,
+		`{"topology": {"kind": "mesh2d", "w": 4, "h": 4}, "jobs": [{"name": "x", "tasks": 2, "demands": [{"from": 0, "to": 9, "priority": 1, "period": 10, "length": 1}]}]}`,
+		`{"unknown": 1}`,
+	}
+	for i, in := range cases {
+		if _, _, err := DecodeFile(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

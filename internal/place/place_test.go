@@ -1,0 +1,276 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// chainProblem is a pipeline of n tasks, each stage feeding the next
+// with a heavy stream.
+func chainProblem(n int) Problem {
+	p := Problem{Tasks: n}
+	for i := 0; i < n-1; i++ {
+		p.Demands = append(p.Demands, Demand{
+			From: Task(i), To: Task(i + 1),
+			Priority: 1 + i%3, Period: 60, Length: 12,
+		})
+	}
+	return p
+}
+
+func TestProblemValidate(t *testing.T) {
+	good := chainProblem(4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Problem{
+		{Tasks: 0},
+		{Tasks: 2, Demands: []Demand{{From: 0, To: 5, Period: 10, Length: 1}}},
+		{Tasks: 2, Demands: []Demand{{From: 1, To: 1, Period: 10, Length: 1}}},
+		{Tasks: 2, Demands: []Demand{{From: 0, To: 1, Period: 0, Length: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("problem %d accepted", i)
+		}
+	}
+}
+
+func TestRandomAssignmentValid(t *testing.T) {
+	p := chainProblem(6)
+	m := topology.NewMesh2D(5, 5)
+	a, err := Random(p, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(p, m); err != nil {
+		t.Fatal(err)
+	}
+	// Too many tasks rejected.
+	if _, err := Random(Problem{Tasks: 26}, m, 3); err == nil {
+		t.Fatal("accepted more tasks than nodes")
+	}
+}
+
+func TestAssignmentValidateCatchesDuplicates(t *testing.T) {
+	p := chainProblem(3)
+	m := topology.NewMesh2D(4, 4)
+	if err := (Assignment{0, 0, 1}).Validate(p, m); err == nil {
+		t.Fatal("accepted duplicate node")
+	}
+	if err := (Assignment{0, 1}).Validate(p, m); err == nil {
+		t.Fatal("accepted wrong length")
+	}
+	if err := (Assignment{0, 1, 99}).Validate(p, m); err == nil {
+		t.Fatal("accepted out-of-range node")
+	}
+}
+
+func TestGreedyPlacesChainAdjacent(t *testing.T) {
+	p := chainProblem(5)
+	m := topology.NewMesh2D(6, 6)
+	r := routing.NewXY(m)
+	a, err := Greedy(p, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(p, m); err != nil {
+		t.Fatal(err)
+	}
+	// Every chain hop should be a short path; the greedy heuristic
+	// keeps the weighted distance near 1 per demand.
+	for _, d := range p.Demands {
+		path, err := r.Route(a[d.From], a[d.To])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path.Hops() > 2 {
+			t.Fatalf("greedy left tasks %d-%d %d hops apart (assignment %v)",
+				d.From, d.To, path.Hops(), a)
+		}
+	}
+}
+
+func TestGreedyBeatsRandomOnCost(t *testing.T) {
+	p := chainProblem(8)
+	m := topology.NewMesh2D(6, 6)
+	r := routing.NewXY(m)
+	g, err := Greedy(p, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := p.Cost(m, r, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := 0
+	for seed := int64(0); seed < 10; seed++ {
+		ra, err := Random(p, m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := p.Cost(m, r, ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc >= gc {
+			worse++
+		}
+	}
+	if worse < 8 {
+		t.Fatalf("greedy cost %.2f beaten by %d/10 random placements", gc, 10-worse)
+	}
+}
+
+func TestAnnealImprovesRandom(t *testing.T) {
+	p := chainProblem(8)
+	m := topology.NewMesh2D(6, 6)
+	r := routing.NewXY(m)
+	init, err := Random(p, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initCost, err := p.Cost(m, r, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Anneal(p, m, r, init, AnnealConfig{Seed: 2, Iterations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refined.Validate(p, m); err != nil {
+		t.Fatal(err)
+	}
+	refinedCost, err := p.Cost(m, r, refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refinedCost > initCost {
+		t.Fatalf("annealing worsened cost: %.2f -> %.2f", initCost, refinedCost)
+	}
+}
+
+// TestPlacementBuysFeasibility: a task graph that is infeasible under a
+// bad placement becomes feasible after greedy+annealing placement —
+// the end-to-end payoff of solving the problem the paper deferred.
+func TestPlacementBuysFeasibility(t *testing.T) {
+	m := topology.NewMesh2D(6, 6)
+	r := routing.NewXY(m)
+	// Three independent heavy pipelines plus cross-traffic.
+	p := Problem{Tasks: 12}
+	addChain := func(base int, prio int) {
+		for i := 0; i < 3; i++ {
+			p.Demands = append(p.Demands, Demand{
+				From: Task(base + i), To: Task(base + i + 1),
+				Priority: prio, Period: 50, Length: 14, Deadline: 90,
+			})
+		}
+	}
+	addChain(0, 3)
+	addChain(4, 2)
+	addChain(8, 1)
+
+	// An adversarial placement: interleave the pipelines along one row
+	// so every stream fights every other.
+	bad := Assignment{0, 3, 6, 9, 1, 4, 7, 10, 2, 5, 8, 11}
+	badSet, err := p.Build(m, r, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badRep, err := core.DetermineFeasibility(badSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := Greedy(p, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Anneal(p, m, r, g, AnnealConfig{Seed: 7, Iterations: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSet, err := p.Build(m, r, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodRep, err := core.DetermineFeasibility(goodSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !goodRep.Feasible {
+		t.Fatalf("placed task graph should be feasible:\nassignment %v", good)
+	}
+	// The adversarial placement must be strictly worse: either
+	// infeasible outright or with strictly larger total bounds.
+	if badRep.Feasible {
+		sum := func(rep *core.Report) int {
+			s := 0
+			for _, v := range rep.Verdicts {
+				s += v.U
+			}
+			return s
+		}
+		if sum(badRep) <= sum(goodRep) {
+			t.Fatalf("adversarial placement unexpectedly as good: bad ΣU=%d, good ΣU=%d", sum(badRep), sum(goodRep))
+		}
+	}
+}
+
+func TestAnnealRejectsInvalidInit(t *testing.T) {
+	p := chainProblem(3)
+	m := topology.NewMesh2D(4, 4)
+	r := routing.NewXY(m)
+	if _, err := Anneal(p, m, r, Assignment{0, 0, 1}, AnnealConfig{}); err == nil {
+		t.Fatal("accepted duplicate-node init")
+	}
+}
+
+func TestCostDeterministic(t *testing.T) {
+	p := chainProblem(6)
+	m := topology.NewMesh2D(5, 5)
+	r := routing.NewXY(m)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5; i++ {
+		a, err := Random(p, m, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, err := p.Cost(m, r, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, _ := p.Cost(m, r, a)
+		if c1 != c2 {
+			t.Fatal("cost not deterministic")
+		}
+	}
+}
+
+func TestBuildProducesValidSet(t *testing.T) {
+	p := chainProblem(4)
+	m := topology.NewMesh2D(4, 4)
+	r := routing.NewXY(m)
+	a, err := Greedy(p, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := p.Build(m, r, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != len(p.Demands) {
+		t.Fatalf("set has %d streams for %d demands", set.Len(), len(p.Demands))
+	}
+	// Deadline defaulting.
+	if set.Get(0).Deadline != p.Demands[0].Period {
+		t.Fatal("deadline should default to period")
+	}
+}

@@ -1,0 +1,157 @@
+// Package priority implements priority-assignment policies for message
+// stream sets. The paper draws priorities uniformly at random over a
+// configured number of levels; rate-monotonic and deadline-monotonic
+// assignment are provided for the scheduling-theory baselines and for
+// policy-sensitivity experiments.
+package priority
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// Policy rewrites the Priority field of every stream in the set.
+// Larger priority values mean more important streams, matching the
+// paper's convention.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Assign sets the priorities in place.
+	Assign(set *stream.Set) error
+}
+
+// RateMonotonic assigns priorities by period: the shorter the period,
+// the higher the priority (ties broken by stream ID). Every stream gets
+// a distinct priority level.
+type RateMonotonic struct{}
+
+// Name implements Policy.
+func (RateMonotonic) Name() string { return "rate-monotonic" }
+
+// Assign implements Policy.
+func (RateMonotonic) Assign(set *stream.Set) error {
+	return assignSorted(set, func(a, b *stream.Stream) bool {
+		if a.Period != b.Period {
+			return a.Period > b.Period
+		}
+		return a.ID > b.ID
+	})
+}
+
+// DeadlineMonotonic assigns priorities by deadline: the tighter the
+// deadline, the higher the priority (ties broken by stream ID).
+type DeadlineMonotonic struct{}
+
+// Name implements Policy.
+func (DeadlineMonotonic) Name() string { return "deadline-monotonic" }
+
+// Assign implements Policy.
+func (DeadlineMonotonic) Assign(set *stream.Set) error {
+	return assignSorted(set, func(a, b *stream.Stream) bool {
+		if a.Deadline != b.Deadline {
+			return a.Deadline > b.Deadline
+		}
+		return a.ID > b.ID
+	})
+}
+
+// assignSorted gives priorities 1..n in the order produced by less
+// (least important first).
+func assignSorted(set *stream.Set, less func(a, b *stream.Stream) bool) error {
+	if set.Len() == 0 {
+		return fmt.Errorf("priority: empty stream set")
+	}
+	order := make([]*stream.Stream, set.Len())
+	copy(order, set.Streams)
+	sort.SliceStable(order, func(i, j int) bool { return less(order[i], order[j]) })
+	for i, s := range order {
+		s.Priority = i + 1
+	}
+	return nil
+}
+
+// UniformRandom draws every stream's priority uniformly from 1..Levels,
+// the paper's assignment for the simulation study.
+type UniformRandom struct {
+	Levels int
+	Seed   int64
+}
+
+// Name implements Policy.
+func (u UniformRandom) Name() string { return fmt.Sprintf("uniform-random-%d", u.Levels) }
+
+// Assign implements Policy.
+func (u UniformRandom) Assign(set *stream.Set) error {
+	if set.Len() == 0 {
+		return fmt.Errorf("priority: empty stream set")
+	}
+	if u.Levels < 1 {
+		return fmt.Errorf("priority: %d levels", u.Levels)
+	}
+	rng := rand.New(rand.NewSource(u.Seed))
+	for _, s := range set.Streams {
+		s.Priority = 1 + rng.Intn(u.Levels)
+	}
+	return nil
+}
+
+// Quantize maps the set's existing priorities onto a smaller number of
+// levels, preserving order: the streams are ranked by current priority
+// and split into Levels equal bands. This models the paper's practical
+// resource constraint — "it is difficult to have too many virtual
+// channels" — where many logical priorities must share few VCs, and
+// drives the VC-count sweeps of §5.
+type Quantize struct {
+	Levels int
+}
+
+// Name implements Policy.
+func (q Quantize) Name() string { return fmt.Sprintf("quantize-%d", q.Levels) }
+
+// Assign implements Policy.
+func (q Quantize) Assign(set *stream.Set) error {
+	if set.Len() == 0 {
+		return fmt.Errorf("priority: empty stream set")
+	}
+	if q.Levels < 1 {
+		return fmt.Errorf("priority: %d levels", q.Levels)
+	}
+	order := make([]*stream.Stream, set.Len())
+	copy(order, set.Streams)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Priority != order[j].Priority {
+			return order[i].Priority < order[j].Priority
+		}
+		return order[i].ID > order[j].ID
+	})
+	n := len(order)
+	for rank, s := range order {
+		// rank 0 = least important; bands of equal size.
+		s.Priority = 1 + rank*q.Levels/n
+		if s.Priority > q.Levels {
+			s.Priority = q.Levels
+		}
+	}
+	return nil
+}
+
+// SinglePriority collapses every stream to one priority level — the
+// configuration of the paper's Tables 1 and 2.
+type SinglePriority struct{}
+
+// Name implements Policy.
+func (SinglePriority) Name() string { return "single-priority" }
+
+// Assign implements Policy.
+func (SinglePriority) Assign(set *stream.Set) error {
+	if set.Len() == 0 {
+		return fmt.Errorf("priority: empty stream set")
+	}
+	for _, s := range set.Streams {
+		s.Priority = 1
+	}
+	return nil
+}

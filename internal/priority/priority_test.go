@@ -1,0 +1,164 @@
+package priority
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+func testSet(t *testing.T, periods, deadlines []int) *stream.Set {
+	t.Helper()
+	m := topology.NewMesh2D(10, 2)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	for i := range periods {
+		if _, err := set.Add(r, topology.NodeID(i), topology.NodeID(i+10), 1, periods[i], 2, deadlines[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return set
+}
+
+func TestRateMonotonic(t *testing.T) {
+	set := testSet(t, []int{50, 20, 90, 20}, []int{50, 20, 90, 20})
+	if err := (RateMonotonic{}).Assign(set); err != nil {
+		t.Fatal(err)
+	}
+	// Shortest period -> highest priority; tie (IDs 1 and 3, both T=20)
+	// broken in favour of the smaller ID.
+	prios := []int{2, 4, 1, 3}
+	for i, want := range prios {
+		if set.Get(stream.ID(i)).Priority != want {
+			t.Fatalf("stream %d priority %d, want %d", i, set.Get(stream.ID(i)).Priority, want)
+		}
+	}
+	// All priorities distinct.
+	seen := map[int]bool{}
+	for _, s := range set.Streams {
+		if seen[s.Priority] {
+			t.Fatal("duplicate priority")
+		}
+		seen[s.Priority] = true
+	}
+}
+
+func TestDeadlineMonotonic(t *testing.T) {
+	set := testSet(t, []int{100, 100, 100}, []int{30, 10, 60})
+	if err := (DeadlineMonotonic{}).Assign(set); err != nil {
+		t.Fatal(err)
+	}
+	if set.Get(1).Priority != 3 || set.Get(0).Priority != 2 || set.Get(2).Priority != 1 {
+		t.Fatalf("priorities = %d,%d,%d", set.Get(0).Priority, set.Get(1).Priority, set.Get(2).Priority)
+	}
+}
+
+func TestUniformRandom(t *testing.T) {
+	set := testSet(t, []int{50, 50, 50, 50, 50, 50}, []int{50, 50, 50, 50, 50, 50})
+	u := UniformRandom{Levels: 3, Seed: 9}
+	if err := u.Assign(set); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range set.Streams {
+		if s.Priority < 1 || s.Priority > 3 {
+			t.Fatalf("priority %d outside [1,3]", s.Priority)
+		}
+	}
+	// Deterministic given the seed.
+	set2 := testSet(t, []int{50, 50, 50, 50, 50, 50}, []int{50, 50, 50, 50, 50, 50})
+	if err := u.Assign(set2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range set.Streams {
+		if set.Streams[i].Priority != set2.Streams[i].Priority {
+			t.Fatal("UniformRandom not deterministic for fixed seed")
+		}
+	}
+	if err := (UniformRandom{Levels: 0}).Assign(set); err == nil {
+		t.Error("accepted zero levels")
+	}
+}
+
+func TestSinglePriority(t *testing.T) {
+	set := testSet(t, []int{10, 20, 30}, []int{10, 20, 30})
+	if err := (SinglePriority{}).Assign(set); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range set.Streams {
+		if s.Priority != 1 {
+			t.Fatalf("priority %d, want 1", s.Priority)
+		}
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	set := testSet(t, []int{10, 20, 30, 40, 50, 60}, []int{10, 20, 30, 40, 50, 60})
+	// Give distinct priorities 1..6 first (rate-monotonic order).
+	if err := (RateMonotonic{}).Assign(set); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Quantize{Levels: 3}).Assign(set); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, s := range set.Streams {
+		if s.Priority < 1 || s.Priority > 3 {
+			t.Fatalf("priority %d outside [1,3]", s.Priority)
+		}
+		counts[s.Priority]++
+	}
+	// Six streams over three bands: two per band.
+	for p := 1; p <= 3; p++ {
+		if counts[p] != 2 {
+			t.Fatalf("band %d has %d streams: %v", p, counts[p], counts)
+		}
+	}
+	// Order preserved: the shortest-period stream keeps the top band.
+	if set.Get(0).Priority != 3 { // period 10 -> most important
+		t.Fatalf("stream 0 priority %d, want 3", set.Get(0).Priority)
+	}
+	if set.Get(5).Priority != 1 { // period 60 -> least important
+		t.Fatalf("stream 5 priority %d, want 1", set.Get(5).Priority)
+	}
+	if err := (Quantize{Levels: 0}).Assign(set); err == nil {
+		t.Fatal("accepted zero levels")
+	}
+}
+
+func TestQuantizeMoreLevelsThanStreams(t *testing.T) {
+	set := testSet(t, []int{10, 20}, []int{10, 20})
+	if err := (RateMonotonic{}).Assign(set); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Quantize{Levels: 8}).Assign(set); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range set.Streams {
+		if s.Priority < 1 || s.Priority > 8 {
+			t.Fatalf("priority %d out of range", s.Priority)
+		}
+	}
+	if set.Get(0).Priority <= set.Get(1).Priority {
+		t.Fatal("order not preserved")
+	}
+}
+
+func TestEmptySetRejected(t *testing.T) {
+	m := topology.NewMesh2D(4, 1)
+	empty := stream.NewSet(m)
+	for _, p := range []Policy{RateMonotonic{}, DeadlineMonotonic{}, UniformRandom{Levels: 2}, SinglePriority{}, Quantize{Levels: 2}} {
+		if err := p.Assign(empty); err == nil {
+			t.Errorf("%s accepted empty set", p.Name())
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (RateMonotonic{}).Name() != "rate-monotonic" ||
+		(DeadlineMonotonic{}).Name() != "deadline-monotonic" ||
+		(UniformRandom{Levels: 5}).Name() != "uniform-random-5" ||
+		(SinglePriority{}).Name() != "single-priority" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,83 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Detour routes breadth-first shortest paths while avoiding a set of
+// failed directed channels. It backs the fault-recovery workflow
+// (package fault): when a link dies, every stream crossing it is
+// re-routed around the fault and the feasibility test is re-run — the
+// static-analysis counterpart of the fault-tolerant real-time channels
+// in the paper's related work (Zheng & Shin).
+//
+// Detour is deterministic: among equal-length paths it expands
+// neighbours in the topology's order, so re-running the recovery yields
+// the same routes. Note that unlike X-Y routing, arbitrary shortest
+// paths are not guaranteed deadlock-free; the model (like the paper)
+// assumes deadlock is handled by the virtual-channel structure.
+type Detour struct {
+	Topo   topology.Topology
+	Failed map[topology.Channel]bool
+}
+
+// NewDetour returns a BFS router over t that never uses a failed
+// channel.
+func NewDetour(t topology.Topology, failed map[topology.Channel]bool) *Detour {
+	return &Detour{Topo: t, Failed: failed}
+}
+
+// Name implements Router.
+func (d *Detour) Name() string { return "detour-bfs" }
+
+// Route implements Router. It returns an error when the destination is
+// unreachable with the failed channels removed.
+func (d *Detour) Route(src, dst topology.NodeID) (Path, error) {
+	if err := topology.Validate(d.Topo, src); err != nil {
+		return Path{}, err
+	}
+	if err := topology.Validate(d.Topo, dst); err != nil {
+		return Path{}, err
+	}
+	p := Path{Src: src, Dst: dst}
+	if src == dst {
+		return p, nil
+	}
+	prev := make(map[topology.NodeID]topology.NodeID, d.Topo.Nodes())
+	prev[src] = src
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		if _, done := prev[dst]; done {
+			break
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range d.Topo.Neighbors(cur) {
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			if d.Failed[topology.Channel{From: cur, To: nb}] {
+				continue
+			}
+			prev[nb] = cur
+			queue = append(queue, nb)
+		}
+	}
+	if _, ok := prev[dst]; !ok {
+		return Path{}, fmt.Errorf("routing: %d unreachable from %d with %d failed channels", dst, src, len(d.Failed))
+	}
+	// Walk back from dst.
+	var rev []topology.Channel
+	for cur := dst; cur != src; cur = prev[cur] {
+		rev = append(rev, topology.Channel{From: prev[cur], To: cur})
+	}
+	p.Channels = make([]topology.Channel, len(rev))
+	for i := range rev {
+		p.Channels[i] = rev[len(rev)-1-i]
+	}
+	return p, nil
+}
+
+var _ Router = (*Detour)(nil)

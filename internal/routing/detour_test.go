@@ -1,0 +1,52 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDetourBasics(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	d := NewDetour(m, nil)
+	if d.Name() != "detour-bfs" {
+		t.Fatal("name")
+	}
+	p, err := d.Route(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 6 {
+		t.Fatalf("hops = %d, want 6 (Manhattan)", p.Hops())
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetourAvoidsFailures(t *testing.T) {
+	m := topology.NewMesh2D(3, 1)
+	failed := map[topology.Channel]bool{{From: 1, To: 2}: true}
+	d := NewDetour(m, failed)
+	if _, err := d.Route(0, 2); err == nil {
+		t.Fatal("row with a cut channel should be unreachable")
+	}
+	// Reverse direction still works (directed failure).
+	if _, err := d.Route(2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetourValidation(t *testing.T) {
+	m := topology.NewMesh2D(3, 3)
+	d := NewDetour(m, nil)
+	if _, err := d.Route(-1, 2); err == nil {
+		t.Fatal("accepted bad src")
+	}
+	if _, err := d.Route(2, 99); err == nil {
+		t.Fatal("accepted bad dst")
+	}
+	if p, err := d.Route(4, 4); err != nil || p.Hops() != 0 {
+		t.Fatal("self route")
+	}
+}

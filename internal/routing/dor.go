@@ -1,0 +1,132 @@
+package routing
+
+import (
+	"repro/internal/topology"
+)
+
+// TorusDOR is dimension-order routing on a 2D torus: the X offset is
+// corrected first (taking the shorter wrap direction, ties broken
+// toward +X), then the Y offset (ties toward +Y). With per-direction
+// virtual-channel classes this scheme is deadlock-free; as in the paper
+// we simply assume a deadlock-free deterministic route.
+type TorusDOR struct {
+	Torus *topology.Torus2D
+}
+
+// NewTorusDOR returns a dimension-order router over t.
+func NewTorusDOR(t *topology.Torus2D) *TorusDOR { return &TorusDOR{Torus: t} }
+
+// Name implements Router.
+func (r *TorusDOR) Name() string { return "torus-dor" }
+
+// Route implements Router.
+func (r *TorusDOR) Route(src, dst topology.NodeID) (Path, error) {
+	if err := topology.Validate(r.Torus, src); err != nil {
+		return Path{}, err
+	}
+	if err := topology.Validate(r.Torus, dst); err != nil {
+		return Path{}, err
+	}
+	p := Path{Src: src, Dst: dst}
+	x, y := r.Torus.XY(src)
+	dx, dy := r.Torus.XY(dst)
+	for x != dx {
+		step := torusStep(x, dx, r.Torus.W)
+		nx := ((x+step)%r.Torus.W + r.Torus.W) % r.Torus.W
+		p.Channels = append(p.Channels, topology.Channel{From: r.Torus.ID(x, y), To: r.Torus.ID(nx, y)})
+		x = nx
+	}
+	for y != dy {
+		step := torusStep(y, dy, r.Torus.H)
+		ny := ((y+step)%r.Torus.H + r.Torus.H) % r.Torus.H
+		p.Channels = append(p.Channels, topology.Channel{From: r.Torus.ID(x, y), To: r.Torus.ID(x, ny)})
+		y = ny
+	}
+	return p, nil
+}
+
+// torusStep returns +1 or -1: the direction of the shorter way around a
+// ring of size n from cur to dst, ties broken toward +1.
+func torusStep(cur, dst, n int) int {
+	fwd := ((dst-cur)%n + n) % n
+	bwd := n - fwd
+	if fwd <= bwd {
+		return 1
+	}
+	return -1
+}
+
+// ECube is e-cube routing on a hypercube: bit differences between the
+// current node and the destination are corrected in ascending bit
+// order. E-cube routing is deterministic and deadlock-free.
+type ECube struct {
+	Cube *topology.Hypercube
+}
+
+// NewECube returns an e-cube router over h.
+func NewECube(h *topology.Hypercube) *ECube { return &ECube{Cube: h} }
+
+// Name implements Router.
+func (r *ECube) Name() string { return "ecube" }
+
+// Route implements Router.
+func (r *ECube) Route(src, dst topology.NodeID) (Path, error) {
+	if err := topology.Validate(r.Cube, src); err != nil {
+		return Path{}, err
+	}
+	if err := topology.Validate(r.Cube, dst); err != nil {
+		return Path{}, err
+	}
+	p := Path{Src: src, Dst: dst}
+	cur := src
+	for b := 0; b < r.Cube.Dim; b++ {
+		mask := topology.NodeID(1 << b)
+		if (cur^dst)&mask != 0 {
+			next := cur ^ mask
+			p.Channels = append(p.Channels, topology.Channel{From: cur, To: next})
+			cur = next
+		}
+	}
+	return p, nil
+}
+
+// RingShortest routes on a ring in the direction of the shorter arc,
+// ties broken clockwise (ascending node IDs).
+type RingShortest struct {
+	Ring *topology.Ring
+}
+
+// NewRingShortest returns a shortest-arc router over rg.
+func NewRingShortest(rg *topology.Ring) *RingShortest { return &RingShortest{Ring: rg} }
+
+// Name implements Router.
+func (r *RingShortest) Name() string { return "ring-shortest" }
+
+// Route implements Router.
+func (r *RingShortest) Route(src, dst topology.NodeID) (Path, error) {
+	if err := topology.Validate(r.Ring, src); err != nil {
+		return Path{}, err
+	}
+	if err := topology.Validate(r.Ring, dst); err != nil {
+		return Path{}, err
+	}
+	p := Path{Src: src, Dst: dst}
+	if src == dst {
+		return p, nil
+	}
+	n := r.Ring.N
+	step := torusStep(int(src), int(dst), n)
+	cur := int(src)
+	for cur != int(dst) {
+		next := ((cur+step)%n + n) % n
+		p.Channels = append(p.Channels, topology.Channel{From: topology.NodeID(cur), To: topology.NodeID(next)})
+		cur = next
+	}
+	return p, nil
+}
+
+var (
+	_ Router = (*TorusDOR)(nil)
+	_ Router = (*ECube)(nil)
+	_ Router = (*RingShortest)(nil)
+)

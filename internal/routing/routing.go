@@ -1,0 +1,105 @@
+// Package routing implements the deterministic, deadlock-free routing
+// algorithms assumed by the paper: X-Y routing for 2D meshes, e-cube
+// routing for hypercubes, dimension-order routing for tori and shortest
+// direction for rings.
+//
+// Every message stream's path is fixed at analysis time; both the delay
+// upper-bound algorithm (package core) and the flit-level simulator
+// (package sim) consume the same Path values, so the analysed and the
+// simulated network agree exactly on channel usage.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Path is the static route of a message stream: the ordered list of
+// directed physical channels from Src to Dst. A path between a node and
+// itself has no channels.
+type Path struct {
+	Src, Dst topology.NodeID
+	Channels []topology.Channel
+}
+
+// Hops returns the number of physical channels traversed.
+func (p Path) Hops() int { return len(p.Channels) }
+
+// Uses reports whether the path traverses the directed channel c.
+func (p Path) Uses(c topology.Channel) bool {
+	for _, pc := range p.Channels {
+		if pc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether two paths share at least one directed
+// physical channel. Overlap is the paper's notion of direct blocking:
+// two streams can block each other only if their paths overlap.
+func (p Path) Overlaps(q Path) bool {
+	if len(p.Channels) == 0 || len(q.Channels) == 0 {
+		return false
+	}
+	set := make(map[topology.Channel]struct{}, len(p.Channels))
+	for _, c := range p.Channels {
+		set[c] = struct{}{}
+	}
+	for _, c := range q.Channels {
+		if _, ok := set[c]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SharedChannels returns the directed channels used by both paths, in
+// p's traversal order.
+func (p Path) SharedChannels(q Path) []topology.Channel {
+	set := make(map[topology.Channel]struct{}, len(q.Channels))
+	for _, c := range q.Channels {
+		set[c] = struct{}{}
+	}
+	var out []topology.Channel
+	for _, c := range p.Channels {
+		if _, ok := set[c]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validate checks that the path is a connected chain of edges of t from
+// Src to Dst.
+func (p Path) Validate(t topology.Topology) error {
+	if err := topology.Validate(t, p.Src); err != nil {
+		return err
+	}
+	if err := topology.Validate(t, p.Dst); err != nil {
+		return err
+	}
+	cur := p.Src
+	for i, c := range p.Channels {
+		if c.From != cur {
+			return fmt.Errorf("routing: channel %d (%s) does not start at %d", i, c, cur)
+		}
+		if !t.HasEdge(c.From, c.To) {
+			return fmt.Errorf("routing: channel %d (%s) is not an edge of %s", i, c, t.Name())
+		}
+		cur = c.To
+	}
+	if cur != p.Dst {
+		return fmt.Errorf("routing: path ends at %d, want %d", cur, p.Dst)
+	}
+	return nil
+}
+
+// Router computes the static path between a source and destination node.
+type Router interface {
+	// Name identifies the algorithm, e.g. "xy".
+	Name() string
+	// Route returns the deterministic path from src to dst.
+	Route(src, dst topology.NodeID) (Path, error)
+}

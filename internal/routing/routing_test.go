@@ -1,0 +1,305 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestXYRouteShape(t *testing.T) {
+	m := topology.NewMesh2D(10, 10)
+	r := NewXY(m)
+	// Paper worked example, M_0: (7,3) -> (7,7), pure Y move, 4 hops.
+	p, err := r.Route(m.ID(7, 3), m.ID(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 4 {
+		t.Fatalf("hops = %d, want 4", p.Hops())
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	// M_1: (1,1) -> (5,4): 4 X hops then 3 Y hops.
+	p, err = r.Route(m.ID(1, 1), m.ID(5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 7 {
+		t.Fatalf("hops = %d, want 7", p.Hops())
+	}
+	// X first: the fourth channel must end at (5,1).
+	if p.Channels[3].To != m.ID(5, 1) {
+		t.Fatalf("X-Y order violated: 4th hop ends at %d, want %d", p.Channels[3].To, m.ID(5, 1))
+	}
+}
+
+func TestXYZeroLengthRoute(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	r := NewXY(m)
+	p, err := r.Route(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 0 {
+		t.Fatalf("self route has %d hops", p.Hops())
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXYRejectsBadNodes(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	r := NewXY(m)
+	if _, err := r.Route(-1, 3); err == nil {
+		t.Fatal("accepted negative source")
+	}
+	if _, err := r.Route(3, 16); err == nil {
+		t.Fatal("accepted out-of-range destination")
+	}
+}
+
+func TestYXOrder(t *testing.T) {
+	m := topology.NewMesh2D(10, 10)
+	r := NewYX(m)
+	p, err := r.Route(m.ID(1, 1), m.ID(5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 7 {
+		t.Fatalf("hops = %d, want 7", p.Hops())
+	}
+	// Y first: the third channel must end at (1,4).
+	if p.Channels[2].To != m.ID(1, 4) {
+		t.Fatalf("Y-X order violated: 3rd hop ends at %d, want %d", p.Channels[2].To, m.ID(1, 4))
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusDORWrap(t *testing.T) {
+	tr := topology.NewTorus2D(8, 8)
+	r := NewTorusDOR(tr)
+	// From (0,0) to (6,0): wrap backwards is 2 hops, forward is 6.
+	p, err := r.Route(tr.ID(0, 0), tr.ID(6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 2 {
+		t.Fatalf("hops = %d, want 2 (wrap)", p.Hops())
+	}
+	if err := p.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Ties (distance n/2) break toward +: (0,0)->(4,0) takes +x.
+	p, _ = r.Route(tr.ID(0, 0), tr.ID(4, 0))
+	if p.Channels[0].To != tr.ID(1, 0) {
+		t.Fatalf("tie not broken toward +x: first hop to %d", p.Channels[0].To)
+	}
+}
+
+func TestECube(t *testing.T) {
+	h := topology.NewHypercube(4)
+	r := NewECube(h)
+	p, err := r.Route(0b0101, 0b1010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 4 {
+		t.Fatalf("hops = %d, want 4 (Hamming distance)", p.Hops())
+	}
+	if err := p.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	// Bits fixed in ascending order: first hop flips bit 0.
+	if p.Channels[0].To != 0b0100 {
+		t.Fatalf("first hop to %04b, want 0100", p.Channels[0].To)
+	}
+}
+
+func TestRingShortest(t *testing.T) {
+	rg := topology.NewRing(10)
+	r := NewRingShortest(rg)
+	p, err := r.Route(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 2 {
+		t.Fatalf("hops = %d, want 2 (backwards arc)", p.Hops())
+	}
+	if err := p.Validate(rg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForTopology(t *testing.T) {
+	cases := []struct {
+		topo topology.Topology
+		want string
+	}{
+		{topology.NewMesh2D(3, 3), "xy"},
+		{topology.NewTorus2D(3, 3), "torus-dor"},
+		{topology.NewHypercube(3), "ecube"},
+		{topology.NewRing(5), "ring-shortest"},
+	}
+	for _, c := range cases {
+		r, err := ForTopology(c.topo)
+		if err != nil {
+			t.Fatalf("%s: %v", c.topo.Name(), err)
+		}
+		if r.Name() != c.want {
+			t.Fatalf("%s: router %q, want %q", c.topo.Name(), r.Name(), c.want)
+		}
+	}
+}
+
+func TestOverlapsAndSharedChannels(t *testing.T) {
+	m := topology.NewMesh2D(10, 10)
+	r := NewXY(m)
+	// Paper example: M_2 (2,1)->(7,5) and M_4 (6,1)->(9,3) overlap on
+	// X channels of row 1 between x=6 and x=7.
+	p2, _ := r.Route(m.ID(2, 1), m.ID(7, 5))
+	p4, _ := r.Route(m.ID(6, 1), m.ID(9, 3))
+	if !p2.Overlaps(p4) {
+		t.Fatal("M2 and M4 should overlap")
+	}
+	if !p4.Overlaps(p2) {
+		t.Fatal("overlap should be symmetric")
+	}
+	shared := p2.SharedChannels(p4)
+	if len(shared) == 0 {
+		t.Fatal("no shared channels reported")
+	}
+	for _, c := range shared {
+		if !p2.Uses(c) || !p4.Uses(c) {
+			t.Fatalf("shared channel %v not used by both", c)
+		}
+	}
+	// M_0 (7,3)->(7,7) and M_1 (1,1)->(5,4) must not overlap.
+	p0, _ := r.Route(m.ID(7, 3), m.ID(7, 7))
+	p1, _ := r.Route(m.ID(1, 1), m.ID(5, 4))
+	if p0.Overlaps(p1) {
+		t.Fatal("M0 and M1 should not overlap")
+	}
+}
+
+func TestOppositeDirectionsDoNotOverlap(t *testing.T) {
+	m := topology.NewMesh2D(5, 1)
+	r := NewXY(m)
+	ab, _ := r.Route(0, 4)
+	ba, _ := r.Route(4, 0)
+	if ab.Overlaps(ba) {
+		t.Fatal("opposite directions of a link are distinct channels")
+	}
+}
+
+func TestPathValidateCatchesCorruption(t *testing.T) {
+	m := topology.NewMesh2D(5, 5)
+	r := NewXY(m)
+	p, _ := r.Route(0, 12)
+	good := p
+	if err := good.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	// Break the chain.
+	bad := p
+	bad.Channels = append([]topology.Channel{}, p.Channels...)
+	bad.Channels[1] = topology.Channel{From: 99, To: 100}
+	if err := bad.Validate(m); err == nil {
+		t.Fatal("Validate accepted broken chain")
+	}
+	// Wrong endpoint.
+	bad2 := p
+	bad2.Dst = 13
+	if err := bad2.Validate(m); err == nil {
+		t.Fatal("Validate accepted wrong destination")
+	}
+}
+
+// Property: on every topology, the canonical route is a valid minimal
+// path for mesh/hypercube (and valid for torus/ring), and routing is a
+// pure function (same result twice).
+func TestCanonicalRoutesValidQuick(t *testing.T) {
+	topos := []topology.Topology{
+		topology.NewMesh2D(9, 7),
+		topology.NewTorus2D(6, 6),
+		topology.NewHypercube(5),
+		topology.NewRing(11),
+	}
+	for _, topo := range topos {
+		topo := topo
+		router, err := ForTopology(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(a, b uint16) bool {
+			src := topology.NodeID(int(a) % topo.Nodes())
+			dst := topology.NodeID(int(b) % topo.Nodes())
+			p1, err := router.Route(src, dst)
+			if err != nil {
+				return false
+			}
+			if p1.Validate(topo) != nil {
+				return false
+			}
+			p2, _ := router.Route(src, dst)
+			if p1.Hops() != p2.Hops() {
+				return false
+			}
+			for i := range p1.Channels {
+				if p1.Channels[i] != p2.Channels[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", topo.Name(), err)
+		}
+	}
+}
+
+// Property: X-Y routes are minimal (hops == Manhattan distance).
+func TestXYMinimalQuick(t *testing.T) {
+	m := topology.NewMesh2D(10, 10)
+	r := NewXY(m)
+	f := func(a, b uint16) bool {
+		src := topology.NodeID(int(a) % m.Nodes())
+		dst := topology.NodeID(int(b) % m.Nodes())
+		p, err := r.Route(src, dst)
+		if err != nil {
+			return false
+		}
+		sx, sy := m.XY(src)
+		dx, dy := m.XY(dst)
+		return p.Hops() == abs(sx-dx)+abs(sy-dy)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overlap is symmetric.
+func TestOverlapSymmetricQuick(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	r := NewXY(m)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		a, _ := r.Route(topology.NodeID(rng.Intn(64)), topology.NodeID(rng.Intn(64)))
+		b, _ := r.Route(topology.NodeID(rng.Intn(64)), topology.NodeID(rng.Intn(64)))
+		if a.Overlaps(b) != b.Overlaps(a) {
+			t.Fatalf("asymmetric overlap between %v and %v", a, b)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

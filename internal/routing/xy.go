@@ -1,0 +1,118 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// XY routes on a 2D mesh by first correcting the X offset, then the Y
+// offset. X-Y routing is deterministic and deadlock-free, and is the
+// routing algorithm the paper assumes for all mesh examples and for the
+// whole simulation study.
+type XY struct {
+	Mesh *topology.Mesh2D
+}
+
+// NewXY returns an X-Y router over m.
+func NewXY(m *topology.Mesh2D) *XY { return &XY{Mesh: m} }
+
+// Name implements Router.
+func (r *XY) Name() string { return "xy" }
+
+// Route implements Router.
+func (r *XY) Route(src, dst topology.NodeID) (Path, error) {
+	if err := topology.Validate(r.Mesh, src); err != nil {
+		return Path{}, err
+	}
+	if err := topology.Validate(r.Mesh, dst); err != nil {
+		return Path{}, err
+	}
+	p := Path{Src: src, Dst: dst}
+	x, y := r.Mesh.XY(src)
+	dx, dy := r.Mesh.XY(dst)
+	for x != dx {
+		nx := x + sign(dx-x)
+		p.Channels = append(p.Channels, topology.Channel{From: r.Mesh.ID(x, y), To: r.Mesh.ID(nx, y)})
+		x = nx
+	}
+	for y != dy {
+		ny := y + sign(dy-y)
+		p.Channels = append(p.Channels, topology.Channel{From: r.Mesh.ID(x, y), To: r.Mesh.ID(x, ny)})
+		y = ny
+	}
+	return p, nil
+}
+
+// YX routes on a 2D mesh by first correcting the Y offset, then the X
+// offset. It is provided as an alternative deterministic scheme so that
+// routing-sensitivity experiments can compare against X-Y.
+type YX struct {
+	Mesh *topology.Mesh2D
+}
+
+// NewYX returns a Y-X router over m.
+func NewYX(m *topology.Mesh2D) *YX { return &YX{Mesh: m} }
+
+// Name implements Router.
+func (r *YX) Name() string { return "yx" }
+
+// Route implements Router.
+func (r *YX) Route(src, dst topology.NodeID) (Path, error) {
+	if err := topology.Validate(r.Mesh, src); err != nil {
+		return Path{}, err
+	}
+	if err := topology.Validate(r.Mesh, dst); err != nil {
+		return Path{}, err
+	}
+	p := Path{Src: src, Dst: dst}
+	x, y := r.Mesh.XY(src)
+	dx, dy := r.Mesh.XY(dst)
+	for y != dy {
+		ny := y + sign(dy-y)
+		p.Channels = append(p.Channels, topology.Channel{From: r.Mesh.ID(x, y), To: r.Mesh.ID(x, ny)})
+		y = ny
+	}
+	for x != dx {
+		nx := x + sign(dx-x)
+		p.Channels = append(p.Channels, topology.Channel{From: r.Mesh.ID(x, y), To: r.Mesh.ID(nx, y)})
+		x = nx
+	}
+	return p, nil
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// ForTopology returns the canonical deterministic router for t: X-Y for
+// meshes, dimension-order for tori, e-cube for hypercubes and shortest
+// direction for rings.
+func ForTopology(t topology.Topology) (Router, error) {
+	switch tt := t.(type) {
+	case *topology.Mesh2D:
+		return NewXY(tt), nil
+	case *topology.Torus2D:
+		return NewTorusDOR(tt), nil
+	case *topology.Hypercube:
+		return NewECube(tt), nil
+	case *topology.Ring:
+		return NewRingShortest(tt), nil
+	case *topology.Custom:
+		// Irregular networks route breadth-first shortest paths.
+		return NewDetour(tt, nil), nil
+	default:
+		return nil, fmt.Errorf("routing: no canonical router for topology %s", t.Name())
+	}
+}
+
+var (
+	_ Router = (*XY)(nil)
+	_ Router = (*YX)(nil)
+)

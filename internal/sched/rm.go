@@ -1,0 +1,121 @@
+// Package sched implements the rate-monotonic (RM) response-time
+// baseline the paper discusses in its related work (Mutka [9]): the
+// "mere application of rate monotonic scheduling technology to
+// real-time message traffic". A message stream is treated as a periodic
+// task whose cost is its network latency, interfered with by every
+// directly overlapping higher-or-equal-priority stream.
+//
+// The paper points out that this ignores the blocking characteristic of
+// wormhole networks — in particular, indirect blocking through
+// intermediate streams is invisible to it — so the RM bound can be
+// optimistic (unsafe). Package core's algorithm accounts for indirect
+// blocking; the ablation benchmarks compare the two against the
+// simulator.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// MaxIterations caps the response-time fixpoint iteration.
+const MaxIterations = 1 << 16
+
+// ResponseTimeBound computes the classic response-time bound of stream
+// id: the smallest R satisfying
+//
+//	R = L_id + sum over directly-overlapping j with P_j >= P_id of
+//	    ceil(R / T_j) * C_j
+//
+// It returns -1 when the iteration diverges (utilisation at or above
+// the channel capacity) or exceeds the given horizon.
+func ResponseTimeBound(set *stream.Set, id stream.ID, horizon int) (int, error) {
+	s := set.Get(id)
+	if s == nil {
+		return 0, fmt.Errorf("sched: no stream %d", id)
+	}
+	if horizon <= 0 {
+		return 0, fmt.Errorf("sched: horizon %d must be positive", horizon)
+	}
+	var interferers []*stream.Stream
+	for _, j := range set.Streams {
+		if j.ID == id || j.Priority < s.Priority {
+			continue
+		}
+		if j.Path.Overlaps(s.Path) {
+			interferers = append(interferers, j)
+		}
+	}
+	r := s.Latency
+	for iter := 0; iter < MaxIterations; iter++ {
+		next := s.Latency
+		for _, j := range interferers {
+			next += ceilDiv(r, j.Period) * j.Length
+		}
+		if next == r {
+			return r, nil
+		}
+		if next > horizon {
+			return -1, nil
+		}
+		r = next
+	}
+	return -1, nil
+}
+
+// Feasible runs the RM response-time test over the whole set: every
+// stream's bound must exist and be at most its deadline.
+func Feasible(set *stream.Set) (bool, []int, error) {
+	if err := set.Validate(); err != nil {
+		return false, nil, err
+	}
+	bounds := make([]int, set.Len())
+	ok := true
+	for _, s := range set.Streams {
+		r, err := ResponseTimeBound(set, s.ID, maxInt(s.Deadline, s.Latency)*64)
+		if err != nil {
+			return false, nil, err
+		}
+		bounds[s.ID] = r
+		if r < 0 || r > s.Deadline {
+			ok = false
+		}
+	}
+	return ok, bounds, nil
+}
+
+// LinkUtilization returns, for each directed channel used by the set,
+// the fraction of its bandwidth demanded by the streams crossing it
+// (sum of C_i/T_i). Values above 1 indicate guaranteed saturation.
+func LinkUtilization(set *stream.Set) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range set.Streams {
+		share := float64(s.Length) / float64(s.Period)
+		for _, ch := range s.Path.Channels {
+			out[ch.String()] += share
+		}
+	}
+	return out
+}
+
+// MaxLinkUtilization returns the most loaded channel's utilisation, or
+// 0 for an empty set.
+func MaxLinkUtilization(set *stream.Set) float64 {
+	max := 0.0
+	for _, u := range LinkUtilization(set) {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package shiburns
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+func lineSet(t *testing.T, specs [][4]int) *stream.Set {
+	t.Helper()
+	m := topology.NewMesh2D(10, 1)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	for _, sp := range specs { // {priority, period, length, deadline}
+		if _, err := set.Add(r, 0, 9, sp[0], sp[1], sp[2], sp[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return set
+}
+
+func TestUnblockedStream(t *testing.T) {
+	set := lineSet(t, [][4]int{{1, 100, 4, 100}})
+	rep, err := Analyze(set, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.R[0] != set.Get(0).Latency || !rep.Feasible {
+		t.Fatalf("R = %d, want L = %d", rep.R[0], set.Get(0).Latency)
+	}
+}
+
+func TestDirectInterference(t *testing.T) {
+	// Hog: T=40, L = 9+6-1 = 14. Victim: L = 9+3-1 = 11.
+	set := lineSet(t, [][4]int{{2, 40, 6, 40}, {1, 200, 3, 200}})
+	rep, err := Analyze(set, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hog unblocked: R=14, jitter 0. Victim: R = 11 + ceil(R/40)*14:
+	// 11 -> 25 -> 25. (ceil(25/40) = 1.)
+	if rep.R[0] != 14 || rep.R[1] != 25 {
+		t.Fatalf("R = %v, want [14 25]", rep.R)
+	}
+}
+
+func TestJitterPropagation(t *testing.T) {
+	// Three levels: top blocks mid, mid's jitter inflates its
+	// interference on low.
+	set := lineSet(t, [][4]int{
+		{3, 50, 8, 50},   // top: R = 16, jitter 0
+		{2, 60, 4, 60},   // mid: L=12, R = 12 + ceil(R/50)*16 -> 28, jitter 16
+		{1, 300, 2, 300}, // low
+	})
+	rep, err := Analyze(set, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.R[0] != 16 || rep.R[1] != 28 {
+		t.Fatalf("upper levels: %v", rep.R)
+	}
+	// low: L=10; R = 10 + ceil((R+0)/50)*16 + ceil((R+16)/60)*12.
+	// R=10 -> 10+16+12=38 -> 10+16+12=38 (ceil(38/50)=1, ceil(54/60)=1).
+	if rep.R[2] != 38 {
+		t.Fatalf("low R = %d, want 38", rep.R[2])
+	}
+}
+
+func TestDivergenceAndPropagation(t *testing.T) {
+	set := lineSet(t, [][4]int{
+		{3, 10, 10, 10},  // saturates the row
+		{2, 100, 4, 100}, // diverges
+		{1, 100, 2, 100}, // interferer unbounded -> unbounded
+	})
+	rep, err := Analyze(set, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.R[1] != -1 || rep.R[2] != -1 || rep.Feasible {
+		t.Fatalf("R = %v", rep.R)
+	}
+}
+
+func TestEqualPriorityIgnored(t *testing.T) {
+	// Shi-Burns assumes distinct priorities; equal-priority streams do
+	// not interfere in its model.
+	set := lineSet(t, [][4]int{{1, 50, 5, 50}, {1, 50, 5, 50}})
+	rep, err := Analyze(set, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.R[0] != set.Get(0).Latency || rep.R[1] != set.Get(1).Latency {
+		t.Fatalf("equal priorities should not interfere here: %v", rep.R)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	set := lineSet(t, [][4]int{{1, 50, 5, 50}})
+	if _, err := Analyze(set, 0); err == nil {
+		t.Fatal("accepted zero horizon")
+	}
+	set.Streams[0].Latency = 1
+	if _, err := Analyze(set, 100); err == nil {
+		t.Fatal("accepted invalid set")
+	}
+}
+
+// TestAgainstPaperAndSimulation: on random distinct-priority workloads,
+// both analyses upper-bound the simulator's observations; the two
+// bounds are each sound but generally different (Shi-Burns charges
+// jitter-inflated whole-packet interference; the paper compacts demand
+// in a slot diagram).
+func TestAgainstPaperAndSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := topology.NewMesh2D(7, 7)
+	r := routing.NewXY(m)
+	for trial := 0; trial < 10; trial++ {
+		set := stream.NewSet(m)
+		n := 4 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			src := rng.Intn(49)
+			dst := rng.Intn(49)
+			if src == dst {
+				dst = (dst + 1) % 49
+			}
+			if _, err := set.Add(r, topology.NodeID(src), topology.NodeID(dst),
+				n-i, 150+rng.Intn(150), 1+rng.Intn(10), 600); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sb, err := Analyze(set, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyzer, err := core.NewAnalyzer(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulator, err := sim.New(set, sim.Config{Cycles: 8000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := simulator.Run()
+		for i := range res.PerStream {
+			st := &res.PerStream[i]
+			if st.Observed == 0 {
+				continue
+			}
+			if sb.R[i] >= 0 && st.MaxLatency > sb.R[i] {
+				t.Errorf("trial %d stream %d: measured %d > Shi-Burns %d", trial, i, st.MaxLatency, sb.R[i])
+			}
+			u, err := analyzer.CalUSearchCap(stream.ID(i), 1<<16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u >= 0 && st.MaxLatency > u {
+				t.Errorf("trial %d stream %d: measured %d > paper bound %d", trial, i, st.MaxLatency, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,498 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stream"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Simulator runs one wormhole network simulation for a stream set.
+type Simulator struct {
+	set *stream.Set
+	cfg Config
+
+	links     map[topology.Channel]*link
+	linkOrder []*link
+	prioIdx   map[int]int // priority value -> VC level index (0 = lowest)
+	levels    int
+
+	active  []*message
+	nextRel []int // per stream: next release time
+	nextSeq []int
+	stamp   int64
+	now     int
+	rl      int // per-hop router pipeline depth (set.RouterLatency)
+	jitter  *rand.Rand
+	stats   *Result
+}
+
+// New builds a simulator for the given validated stream set.
+func New(set *stream.Set, cfg Config) (*Simulator, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("sim: empty stream set")
+	}
+	c, err := cfg.withDefaults(set.Len())
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		set:     set,
+		cfg:     c,
+		links:   make(map[topology.Channel]*link),
+		prioIdx: make(map[int]int),
+		nextRel: make([]int, set.Len()),
+		nextSeq: make([]int, set.Len()),
+		rl:      set.RouterLatency,
+		jitter:  rand.New(rand.NewSource(c.JitterSeed)),
+		stats:   newResult(set, c),
+	}
+	// Priority levels, ascending: index 0 is the lowest priority.
+	levels := set.PriorityLevels() // descending
+	for i, p := range levels {
+		s.prioIdx[p] = len(levels) - 1 - i
+	}
+	s.levels = len(levels)
+	vcsPerLink := s.levels
+	if c.Arbiter == NonPreemptiveFIFO || c.Arbiter == NonPreemptivePriority {
+		vcsPerLink = 1
+	}
+	// Only channels actually used by some path need router state.
+	for _, st := range set.Streams {
+		for _, ch := range st.Path.Channels {
+			if _, ok := s.links[ch]; !ok {
+				l := &link{ch: ch, vcs: make([]vc, vcsPerLink)}
+				s.links[ch] = l
+			}
+		}
+	}
+	chans := make([]topology.Channel, 0, len(s.links))
+	for ch := range s.links {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool {
+		if chans[i].From != chans[j].From {
+			return chans[i].From < chans[j].From
+		}
+		return chans[i].To < chans[j].To
+	})
+	for _, ch := range chans {
+		s.linkOrder = append(s.linkOrder, s.links[ch])
+	}
+	if c.Offsets != nil {
+		copy(s.nextRel, c.Offsets)
+	}
+	return s, nil
+}
+
+// Run simulates the configured number of cycles and returns the
+// collected statistics.
+func (s *Simulator) Run() *Result {
+	for s.now = 0; s.now < s.cfg.Cycles; s.now++ {
+		s.release()
+		if s.cfg.DropLate {
+			s.dropLate()
+		}
+		if s.rl > 0 {
+			s.promote()
+		}
+		s.assignVCs()
+		s.collectCandidates()
+		s.moveFlits()
+		s.accountStalls()
+	}
+	s.stats.Unfinished = len(s.active)
+	for _, m := range s.active {
+		s.stats.PerStream[m.s.ID].Unfinished++
+	}
+	return s.stats
+}
+
+// release activates every message whose release time is the current
+// cycle and enqueues its header at the first channel of its path.
+func (s *Simulator) release() {
+	for i, st := range s.set.Streams {
+		for s.nextRel[i] <= s.now {
+			m := &message{
+				s:       st,
+				seq:     s.nextSeq[i],
+				genTime: s.nextRel[i],
+				crossed: make([]int, st.Path.Hops()),
+				vcHeld:  make([]int, st.Path.Hops()),
+				prio:    s.prioIdx[st.Priority],
+			}
+			if s.rl > 0 {
+				m.visible = make([]int, st.Path.Hops())
+				m.inflight = make([][]int, st.Path.Hops())
+			}
+			for j := range m.vcHeld {
+				m.vcHeld[j] = -1
+			}
+			s.stamp++
+			m.arrival = s.stamp
+			s.nextSeq[i]++
+			s.nextRel[i] += st.Period
+			if s.cfg.SporadicJitter > 0 {
+				s.nextRel[i] += s.jitter.Intn(s.cfg.SporadicJitter + 1)
+			}
+			s.active = append(s.active, m)
+			s.stats.PerStream[st.ID].Generated++
+			first := s.links[st.Path.Channels[0]]
+			first.pending = append(first.pending, m)
+			s.trace(trace.Event{Cycle: s.now, Kind: trace.Release, Stream: st.ID, Seq: m.seq})
+		}
+	}
+}
+
+// assignVCs runs the header VC-allocation policy on every link with
+// waiting headers.
+func (s *Simulator) assignVCs() {
+	for _, l := range s.linkOrder {
+		if len(l.pending) == 0 {
+			continue
+		}
+		switch s.cfg.Arbiter {
+		case Preemptive:
+			// Each header may only take the VC of its own priority.
+			s.sortPending(l, true)
+			rest := l.pending[:0]
+			for _, m := range l.pending {
+				idx := s.pathIndex(m, l)
+				if l.vcs[m.prio].owner == nil {
+					l.vcs[m.prio].owner = m
+					m.vcHeld[idx] = m.prio
+					s.trace(trace.Event{Cycle: s.now, Kind: trace.VCAcquire, Stream: m.s.ID, Seq: m.seq, Link: l.ch, VC: m.prio})
+				} else {
+					rest = append(rest, m)
+				}
+			}
+			l.pending = rest
+		case Li:
+			// A header may take the highest free VC numbered at or
+			// below its priority.
+			s.sortPending(l, true)
+			rest := l.pending[:0]
+			for _, m := range l.pending {
+				idx := s.pathIndex(m, l)
+				got := -1
+				for v := m.prio; v >= 0; v-- {
+					if l.vcs[v].owner == nil {
+						got = v
+						break
+					}
+				}
+				if got >= 0 {
+					l.vcs[got].owner = m
+					m.vcHeld[idx] = got
+					s.trace(trace.Event{Cycle: s.now, Kind: trace.VCAcquire, Stream: m.s.ID, Seq: m.seq, Link: l.ch, VC: got})
+				} else {
+					rest = append(rest, m)
+				}
+			}
+			l.pending = rest
+		case NonPreemptiveFIFO, NonPreemptivePriority:
+			s.sortPending(l, s.cfg.Arbiter == NonPreemptivePriority)
+			if l.vcs[0].owner == nil {
+				m := l.pending[0]
+				idx := s.pathIndex(m, l)
+				l.vcs[0].owner = m
+				m.vcHeld[idx] = 0
+				l.pending = l.pending[1:]
+				s.trace(trace.Event{Cycle: s.now, Kind: trace.VCAcquire, Stream: m.s.ID, Seq: m.seq, Link: l.ch, VC: 0})
+			}
+		}
+	}
+}
+
+// sortPending orders a link's waiting headers: by priority (descending)
+// then arrival when byPriority is set, else pure arrival order.
+func (s *Simulator) sortPending(l *link, byPriority bool) {
+	sort.SliceStable(l.pending, func(i, j int) bool {
+		a, b := l.pending[i], l.pending[j]
+		if byPriority && a.prio != b.prio {
+			return a.prio > b.prio
+		}
+		return a.arrival < b.arrival
+	})
+}
+
+// pathIndex returns the index of link l within m's path. Headers only
+// wait at the channel they are about to cross, so the header position
+// identifies it.
+func (s *Simulator) pathIndex(m *message, l *link) int {
+	i := m.headerAt()
+	if i >= m.hops() || m.s.Path.Channels[i] != l.ch {
+		panic(fmt.Sprintf("sim: message %d/%d header not at link %s", m.s.ID, m.seq, l.ch))
+	}
+	return i
+}
+
+// collectCandidates registers, per link, every message with a flit that
+// could cross it this cycle.
+func (s *Simulator) collectCandidates() {
+	for _, l := range s.linkOrder {
+		l.cand = l.cand[:0]
+	}
+	for _, m := range s.active {
+		C := m.s.Length
+		for i := 0; i < m.hops(); i++ {
+			if m.vcHeld[i] < 0 || m.crossed[i] >= C {
+				continue
+			}
+			// Flit availability: the source holds all flits; later
+			// channels need a flit buffered at their input (and, with
+			// a router pipeline, out of the pipeline).
+			if i > 0 {
+				avail := m.crossed[i-1]
+				if s.rl > 0 {
+					avail = m.visible[i]
+				}
+				if avail <= m.crossed[i] {
+					continue
+				}
+			}
+			// Downstream buffer space (the sink always accepts).
+			// Flits still inside the next router's pipeline occupy
+			// pipeline registers, not the VC buffer, so only flits
+			// that have emerged (visible) count against the depth.
+			if i+1 < m.hops() {
+				occ := m.crossed[i] - m.crossed[i+1]
+				if s.rl > 0 {
+					occ = m.visible[i+1] - m.crossed[i+1]
+				}
+				if occ >= s.cfg.BufferDepth {
+					continue
+				}
+			}
+			l := s.links[m.s.Path.Channels[i]]
+			l.cand = append(l.cand, candidate{m: m, idx: i})
+			m.hadCandidate = true
+		}
+	}
+}
+
+// moveFlits arbitrates every link and advances the winning flits. All
+// decisions were taken against start-of-cycle state (collectCandidates),
+// so flits of one message advance on several links in the same cycle —
+// the wormhole pipeline.
+func (s *Simulator) moveFlits() {
+	for _, l := range s.linkOrder {
+		if len(l.cand) == 0 {
+			continue
+		}
+		w := s.pickWinner(l)
+		if w == nil {
+			continue
+		}
+		s.advance(l, w)
+	}
+}
+
+// pickWinner applies the physical-channel arbitration policy.
+func (s *Simulator) pickWinner(l *link) *candidate {
+	switch s.cfg.Arbiter {
+	case NonPreemptiveFIFO, NonPreemptivePriority:
+		// Single channel: its owner is the only possible candidate.
+		return &l.cand[0]
+	default:
+		if s.cfg.StrictPhysicalPriority {
+			// The paper's literal rule: VC v transmits only when every
+			// higher VC is completely unoccupied.
+			best := -1
+			for v := len(l.vcs) - 1; v >= 0; v-- {
+				if l.vcs[v].owner != nil {
+					best = v
+					break
+				}
+			}
+			if best < 0 {
+				return nil
+			}
+			for i := range l.cand {
+				c := &l.cand[i]
+				if c.m.vcHeld[c.idx] == best {
+					return c
+				}
+			}
+			return nil
+		}
+		// Work-conserving: highest-priority VC with a ready flit wins.
+		var best *candidate
+		for i := range l.cand {
+			c := &l.cand[i]
+			if best == nil || c.m.vcHeld[c.idx] > best.m.vcHeld[best.idx] {
+				best = c
+			}
+		}
+		return best
+	}
+}
+
+// advance moves one flit of m across path channel idx, handling header
+// arrival at the next hop, tail VC release and delivery accounting.
+func (s *Simulator) advance(l *link, c *candidate) {
+	m, i := c.m, c.idx
+	m.crossed[i]++
+	m.advanced = true
+	cs := s.stats.PerChannel[l.ch]
+	cs.BusyCycles++
+	cs.Flits++
+	s.stats.PerChannel[l.ch] = cs
+	if i+1 < m.hops() {
+		if s.rl > 0 {
+			// The flit enters the next router's pipeline; promote()
+			// surfaces it (and the header's VC request) later.
+			m.inflight[i+1] = append(m.inflight[i+1], s.now)
+		} else if m.crossed[i] == 1 {
+			// Header arrived at the next router: request a VC there.
+			s.stamp++
+			m.arrival = s.stamp
+			next := s.links[m.s.Path.Channels[i+1]]
+			next.pending = append(next.pending, m)
+		}
+	}
+	if m.crossed[i] == m.s.Length {
+		// Tail passed: release this channel's VC.
+		vcIdx := m.vcHeld[i]
+		l.vcs[vcIdx].owner = nil
+		m.vcHeld[i] = -1
+		s.trace(trace.Event{Cycle: s.now + 1, Kind: trace.VCRelease, Stream: m.s.ID, Seq: m.seq, Link: l.ch, VC: vcIdx})
+		if i == m.hops()-1 {
+			s.deliver(m)
+		}
+	}
+}
+
+// promote moves flits out of the router pipelines: a flit that crossed
+// channel i-1 during cycle ts becomes available at channel i's input at
+// cycle ts + 1 + RouterLatency (the +1 matches the zero-latency model,
+// where a crossing is visible the following cycle). The header's
+// arrival additionally enqueues its VC request.
+func (s *Simulator) promote() {
+	for _, m := range s.active {
+		for i := 1; i < m.hops(); i++ {
+			q := m.inflight[i]
+			for len(q) > 0 && s.now-q[0] >= 1+s.rl {
+				q = q[1:]
+				m.visible[i]++
+				if m.visible[i] == 1 {
+					s.stamp++
+					m.arrival = s.stamp
+					l := s.links[m.s.Path.Channels[i]]
+					l.pending = append(l.pending, m)
+				}
+			}
+			m.inflight[i] = q
+		}
+	}
+}
+
+// dropLate aborts every in-flight message older than its deadline:
+// held VCs are released, pending-header entries withdrawn, and the
+// message retired as Dropped.
+func (s *Simulator) dropLate() {
+	kept := s.active[:0]
+	for _, m := range s.active {
+		if s.now-m.genTime <= m.s.Deadline {
+			kept = append(kept, m)
+			continue
+		}
+		h := m.headerAt()
+		if h < m.hops() && m.vcHeld[h] < 0 {
+			// The header is queued for a VC somewhere: withdraw it.
+			s.links[m.s.Path.Channels[h]].removePending(m)
+		}
+		for i, vcIdx := range m.vcHeld {
+			if vcIdx >= 0 {
+				l := s.links[m.s.Path.Channels[i]]
+				l.vcs[vcIdx].owner = nil
+				m.vcHeld[i] = -1
+				s.trace(trace.Event{Cycle: s.now, Kind: trace.VCRelease, Stream: m.s.ID, Seq: m.seq, Link: l.ch, VC: vcIdx})
+			}
+		}
+		st := &s.stats.PerStream[m.s.ID]
+		st.Dropped++
+	}
+	s.active = kept
+}
+
+// accountStalls classifies, for every message still in flight, why it
+// made no progress this cycle: waiting for a virtual channel, losing
+// the physical-channel arbitration, or blocked on downstream buffers
+// (the classic wormhole hold-and-wait). The counts land in the
+// per-stream statistics and decompose observed latency into its
+// blocking causes.
+func (s *Simulator) accountStalls() {
+	for _, m := range s.active {
+		if m.genTime >= s.cfg.Warmup {
+			st := &s.stats.PerStream[m.s.ID]
+			switch {
+			case m.advanced:
+				st.ProgressCycles++
+			case m.hadCandidate:
+				st.ArbStallCycles++
+			case func() bool { h := m.headerAt(); return h < m.hops() && m.vcHeld[h] < 0 }():
+				st.VCStallCycles++
+			default:
+				st.BufferStallCycles++
+			}
+		}
+		if s.cfg.DeadlockThreshold > 0 {
+			holdsVC := false
+			for _, v := range m.vcHeld {
+				if v >= 0 {
+					holdsVC = true
+					break
+				}
+			}
+			if m.advanced || !holdsVC {
+				m.stale = 0
+			} else {
+				m.stale++
+				if m.stale >= s.cfg.DeadlockThreshold && !m.flagged {
+					m.flagged = true
+					s.stats.PerStream[m.s.ID].DeadlockSuspects++
+					if s.stats.FirstDeadlockCycle < 0 {
+						s.stats.FirstDeadlockCycle = s.now
+					}
+				}
+			}
+		}
+		m.advanced = false
+		m.hadCandidate = false
+	}
+}
+
+// trace emits an event if a tracer is configured.
+func (s *Simulator) trace(e trace.Event) {
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Event(e)
+	}
+}
+
+// deliver records a completed message and retires it.
+func (s *Simulator) deliver(m *message) {
+	latency := s.now + 1 - m.genTime // the flit crosses during cycle now..now+1
+	s.trace(trace.Event{Cycle: s.now + 1, Kind: trace.Deliver, Stream: m.s.ID, Seq: m.seq})
+	st := &s.stats.PerStream[m.s.ID]
+	st.Delivered++
+	if m.genTime >= s.cfg.Warmup {
+		st.observe(latency, m.s.Deadline)
+	}
+	for i, a := range s.active {
+		if a == m {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+}
+
+// Now returns the current simulation time (useful to instrument partial
+// runs in tests).
+func (s *Simulator) Now() int { return s.now }

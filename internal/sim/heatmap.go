@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// MeshHeatmap renders per-link utilisation of a 2D-mesh run as ASCII
+// art: nodes are 'o', and each link is annotated with a digit 0-9 (the
+// busier direction's utilisation in tenths, '*' for >= 95%). A '.'
+// marks links no stream uses.
+func MeshHeatmap(m *topology.Mesh2D, res *Result) string {
+	util := func(a, b topology.NodeID) (float64, bool) {
+		ca, oka := res.PerChannel[topology.Channel{From: a, To: b}]
+		cb, okb := res.PerChannel[topology.Channel{From: b, To: a}]
+		if !oka && !okb {
+			return 0, false
+		}
+		ua, ub := ca.Utilization(res.Cycles), cb.Utilization(res.Cycles)
+		if ua > ub {
+			return ua, true
+		}
+		return ub, true
+	}
+	digit := func(u float64, used bool) byte {
+		if !used {
+			return '.'
+		}
+		if u >= 0.95 {
+			return '*'
+		}
+		d := int(u * 10)
+		if d > 9 {
+			d = 9
+		}
+		return byte('0' + d)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "link utilisation heatmap (%s), digits are tenths of channel capacity:\n", m.Name())
+	for y := 0; y < m.H; y++ {
+		// Node row with horizontal links.
+		for x := 0; x < m.W; x++ {
+			b.WriteByte('o')
+			if x < m.W-1 {
+				u, used := util(m.ID(x, y), m.ID(x+1, y))
+				b.WriteByte(' ')
+				b.WriteByte(digit(u, used))
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+		// Vertical links row.
+		if y < m.H-1 {
+			for x := 0; x < m.W; x++ {
+				u, used := util(m.ID(x, y), m.ID(x, y+1))
+				b.WriteByte(digit(u, used))
+				if x < m.W-1 {
+					b.WriteString("   ")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

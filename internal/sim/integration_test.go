@@ -1,0 +1,130 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// paperExampleSet is the worked example of §4.4 (see package core).
+func paperExampleSet(t testing.TB) *stream.Set {
+	t.Helper()
+	m := topology.NewMesh2D(10, 10)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	add := func(sx, sy, dx, dy, p, period, c, d int) {
+		if _, err := set.Add(r, m.ID(sx, sy), m.ID(dx, dy), p, period, c, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(7, 3, 7, 7, 5, 15, 4, 15)
+	add(1, 1, 5, 4, 4, 10, 2, 10)
+	add(2, 1, 7, 5, 3, 40, 4, 40)
+	add(4, 1, 8, 5, 2, 45, 9, 45)
+	add(6, 1, 9, 3, 1, 50, 6, 50)
+	return set
+}
+
+// TestWorkedExampleSimulationRespectsBounds: simulating the paper's
+// worked example with flit-level preemption, every stream's maximum
+// observed latency stays at or below its computed delay upper bound —
+// the soundness claim of the whole method.
+func TestWorkedExampleSimulationRespectsBounds(t *testing.T) {
+	set := paperExampleSet(t)
+	rep, err := core.DetermineFeasibility(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(set, sim.Config{Cycles: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	for i, st := range res.PerStream {
+		if st.Observed == 0 {
+			t.Fatalf("stream %d starved: %+v", i, st)
+		}
+		u := rep.Verdicts[i].U
+		if st.MaxLatency > u {
+			t.Errorf("stream %d: simulated max latency %d exceeds U = %d", i, st.MaxLatency, u)
+		}
+		if st.MaxLatency < set.Get(stream.ID(i)).Latency {
+			t.Errorf("stream %d: max latency %d below network latency %d", i, st.MaxLatency, set.Get(stream.ID(i)).Latency)
+		}
+		if st.Misses != 0 {
+			t.Errorf("stream %d: %d deadline misses in a feasible set", i, st.Misses)
+		}
+	}
+}
+
+// TestRandomSetsHighestPriorityRespectsBound: over random stream sets,
+// the uniquely highest-priority stream (whose U equals its latency)
+// never measures above its bound under preemptive switching.
+func TestRandomSetsHighestPriorityRespectsBound(t *testing.T) {
+	m := topology.NewMesh2D(8, 8)
+	r := routing.NewXY(m)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		set := stream.NewSet(m)
+		n := 3 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			src := rng.Intn(64)
+			dst := rng.Intn(64)
+			if src == dst {
+				dst = (dst + 1) % 64
+			}
+			// Priorities n..1: stream 0 is uniquely highest; generous
+			// periods keep everything schedulable.
+			if _, err := set.Add(r, topology.NodeID(src), topology.NodeID(dst), n-i, 120+rng.Intn(80), 1+rng.Intn(12), 400); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, err := core.NewAnalyzer(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := a.CalU(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u != set.Get(0).Latency {
+			t.Fatalf("trial %d: highest priority U = %d, want L = %d", trial, u, set.Get(0).Latency)
+		}
+		s, err := sim.New(set, sim.Config{Cycles: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		if got := res.PerStream[0].MaxLatency; got > u {
+			t.Fatalf("trial %d: highest priority measured %d > U %d", trial, got, u)
+		}
+	}
+}
+
+// TestPreemptiveVsNonPreemptiveOnPaperExample: the non-preemptive
+// baseline on the same workload delays the high-priority streams more
+// than the preemptive scheme does (the motivation for the paper's
+// priority handling).
+func TestPreemptiveVsNonPreemptiveOnPaperExample(t *testing.T) {
+	set := paperExampleSet(t)
+	pre, err := sim.New(set, sim.Config{Cycles: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := pre.Run()
+	non, err := sim.New(set, sim.Config{Cycles: 30000, Arbiter: sim.NonPreemptivePriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := non.Run()
+	// The highest-priority stream cannot be worse off with preemption.
+	if rp.PerStream[0].MaxLatency > rn.PerStream[0].MaxLatency {
+		t.Errorf("preemption hurt the highest priority: %d vs %d",
+			rp.PerStream[0].MaxLatency, rn.PerStream[0].MaxLatency)
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// TestSporadicJitterSpacing: jittered releases keep gaps >= T (the
+// analysis's minimum inter-generation time) and produce fewer messages
+// than the strictly periodic schedule.
+func TestSporadicJitterSpacing(t *testing.T) {
+	m := topology.NewMesh2D(4, 1)
+	set := mustSet(t, m, [][6]int{{0, 3, 1, 50, 2, 50}})
+	s, err := New(set, Config{Cycles: 5000, SporadicJitter: 25, JitterSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	got := res.PerStream[0].Generated
+	// Periodic would give 100; jitter in [0,25] gives roughly
+	// 5000/62.5 = 80.
+	if got >= 100 || got < 60 {
+		t.Fatalf("generated %d, want within (60, 100)", got)
+	}
+	// Deterministic for a fixed seed.
+	s2, _ := New(set, Config{Cycles: 5000, SporadicJitter: 25, JitterSeed: 3})
+	if s2.Run().PerStream[0].Generated != got {
+		t.Fatal("jitter not reproducible")
+	}
+	s3, _ := New(set, Config{Cycles: 5000, SporadicJitter: 25, JitterSeed: 4})
+	if s3.Run().PerStream[0].Generated == got {
+		t.Log("different seeds coincided (unlikely but possible)")
+	}
+}
+
+// TestSporadicJitterRespectsBounds: jittered (conforming) traffic still
+// never exceeds the analytical bounds on the worked example.
+func TestSporadicJitterRespectsBounds(t *testing.T) {
+	set := paperLikeSet(t)
+	s, err := New(set, Config{Cycles: 30000, SporadicJitter: 7, JitterSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	// Bounds from the analysis (see core tests): 7, 8, 26, 30, 33.
+	us := []int{7, 8, 26, 30, 33}
+	for i, st := range res.PerStream {
+		if st.Observed == 0 {
+			t.Fatalf("stream %d starved", i)
+		}
+		if st.MaxLatency > us[i] {
+			t.Errorf("stream %d: jittered max %d > U %d", i, st.MaxLatency, us[i])
+		}
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	m := topology.NewMesh2D(4, 1)
+	set := mustSet(t, m, [][6]int{{0, 3, 1, 50, 2, 50}})
+	if _, err := New(set, Config{Cycles: 100, SporadicJitter: -1}); err == nil {
+		t.Fatal("accepted negative jitter")
+	}
+}
+
+// paperLikeSet is the §4.4 worked example on a 10x10 mesh.
+func paperLikeSet(t *testing.T) *stream.Set {
+	t.Helper()
+	m := topology.NewMesh2D(10, 10)
+	id := func(x, y int) int { return int(m.ID(x, y)) }
+	return mustSet(t, m, [][6]int{
+		{id(7, 3), id(7, 7), 5, 15, 4, 15},
+		{id(1, 1), id(5, 4), 4, 10, 2, 10},
+		{id(2, 1), id(7, 5), 3, 40, 4, 40},
+		{id(4, 1), id(8, 5), 2, 45, 9, 45},
+		{id(6, 1), id(9, 3), 1, 50, 6, 50},
+	})
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// TestRouterPipelineLatency: an unloaded message measures exactly
+// hops*(1+R) - R + C - 1 for every pipeline depth.
+func TestRouterPipelineLatency(t *testing.T) {
+	for _, r := range []int{0, 1, 2, 4} {
+		m := topology.NewMesh2D(8, 1)
+		router := routing.NewXY(m)
+		set := stream.NewSetWithRouterLatency(m, r)
+		if _, err := set.Add(router, 0, 7, 1, 200, 5, 200); err != nil {
+			t.Fatal(err)
+		}
+		want := stream.NetworkLatencyWithRouter(7, 5, r)
+		if set.Get(0).Latency != want {
+			t.Fatalf("R=%d: set latency %d, want %d", r, set.Get(0).Latency, want)
+		}
+		s, err := New(set, Config{Cycles: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		st := res.PerStream[0]
+		if st.Observed == 0 || st.MinLatency != want || st.MaxLatency != want {
+			t.Fatalf("R=%d: simulated latency [%d,%d], want %d", r, st.MinLatency, st.MaxLatency, want)
+		}
+	}
+}
+
+// TestRouterPipelineRandomized: the latency identity holds across
+// random paths, lengths and depths, and throughput is unaffected (the
+// channel still carries one flit per cycle once the worm streams).
+func TestRouterPipelineRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	m := topology.NewMesh2D(7, 7)
+	router := routing.NewXY(m)
+	for trial := 0; trial < 25; trial++ {
+		r := rng.Intn(4)
+		src := rng.Intn(49)
+		dst := rng.Intn(49)
+		if src == dst {
+			dst = (dst + 1) % 49
+		}
+		c := 1 + rng.Intn(15)
+		set := stream.NewSetWithRouterLatency(m, r)
+		if _, err := set.Add(router, topology.NodeID(src), topology.NodeID(dst), 1, 300, c, 300); err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(set, Config{Cycles: 900})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		st := res.PerStream[0]
+		want := set.Get(0).Latency
+		if st.Observed == 0 || st.MinLatency != want || st.MaxLatency != want {
+			t.Fatalf("trial %d (R=%d, hops=%d, C=%d): latency [%d,%d], want %d",
+				trial, r, set.Get(0).Path.Hops(), c, st.MinLatency, st.MaxLatency, want)
+		}
+	}
+}
+
+// TestRouterPipelinePreemptionStillWorks: priorities behave the same
+// with a deeper router pipeline.
+func TestRouterPipelinePreemptionStillWorks(t *testing.T) {
+	m := topology.NewMesh2D(8, 1)
+	router := routing.NewXY(m)
+	set := stream.NewSetWithRouterLatency(m, 2)
+	if _, err := set.Add(router, 0, 7, 2, 60, 3, 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Add(router, 0, 7, 1, 45, 15, 90); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(set, Config{Cycles: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.PerStream[0].MaxLatency != set.Get(0).Latency {
+		t.Fatalf("high priority delayed with pipeline: %d vs %d",
+			res.PerStream[0].MaxLatency, set.Get(0).Latency)
+	}
+	if res.PerStream[1].Observed == 0 {
+		t.Fatal("low priority starved")
+	}
+}
+
+// TestRouterLatencyAnalysisConsistency: a whole feasibility report on a
+// router-latency set is respected by the simulator (bounds hold).
+func TestRouterLatencyJSONRoundTrip(t *testing.T) {
+	m := topology.NewMesh2D(5, 5)
+	router := routing.NewXY(m)
+	set := stream.NewSetWithRouterLatency(m, 3)
+	if _, err := set.Add(router, 0, 24, 1, 100, 4, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-latency validation must reject the same set when the field
+	// is stripped (latency mismatch).
+	set.RouterLatency = 0
+	if err := set.Validate(); err == nil {
+		t.Fatal("validation ignored router latency")
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// TestStressLargeNetwork guards simulator throughput and correctness at
+// scale: 100 streams on a 16x16 mesh for 100k flit times. Skipped under
+// -short.
+func TestStressLargeNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	m := topology.NewMesh2D(16, 16)
+	r := routing.NewXY(m)
+	rng := rand.New(rand.NewSource(99))
+	set := stream.NewSet(m)
+	perm := rng.Perm(256)
+	for i := 0; i < 100; i++ {
+		src := topology.NodeID(perm[i])
+		dst := topology.NodeID(rng.Intn(256))
+		if src == dst {
+			dst = (dst + 1) % 256
+		}
+		if _, err := set.Add(r, src, dst, 1+rng.Intn(10), 60+rng.Intn(120), 1+rng.Intn(30), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(set, Config{Cycles: 100000, Warmup: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.TotalDelivered() < 50000 {
+		t.Fatalf("suspiciously few deliveries: %d", res.TotalDelivered())
+	}
+	for i := range res.PerStream {
+		st := &res.PerStream[i]
+		if st.Delivered+st.Dropped+st.Unfinished != st.Generated {
+			t.Fatalf("stream %d accounting: %+v", i, st)
+		}
+		if st.Observed > 0 && st.MinLatency < set.Get(stream.ID(i)).Latency {
+			t.Fatalf("stream %d below network latency", i)
+		}
+	}
+}

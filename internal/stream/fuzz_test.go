@@ -1,0 +1,39 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSet: arbitrary JSON input must never panic; accepted inputs
+// must produce a set that validates and round-trips.
+func FuzzDecodeSet(f *testing.F) {
+	f.Add(`{"topology":{"kind":"mesh2d","w":4,"h":4},"streams":[{"src":0,"dst":5,"priority":1,"period":10,"length":2}]}`)
+	f.Add(`{"topology":{"kind":"hypercube","dim":3},"streams":[{"src":0,"dst":7,"priority":2,"period":30,"length":4,"deadline":25}]}`)
+	f.Add(`{"topology":{"kind":"ring","n":5},"streams":[]}`)
+	f.Add(`{"topology":{"kind":"torus2d","w":3,"h":3},"streams":[{"srcXY":[0,0],"dstXY":[2,2],"priority":1,"period":9,"length":1}]}`)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Add(`{"topology":{"kind":"mesh2d","w":-1,"h":4},"streams":[]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		set, err := DecodeSet(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("accepted set does not validate: %v\ninput: %s", err, in)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSet(&buf, set); err != nil {
+			t.Fatalf("accepted set does not encode: %v", err)
+		}
+		again, err := DecodeSet(&buf)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v\nencoded: %s", err, buf.String())
+		}
+		if again.Len() != set.Len() {
+			t.Fatalf("round trip changed stream count: %d -> %d", set.Len(), again.Len())
+		}
+	})
+}

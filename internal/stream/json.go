@@ -1,0 +1,178 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TopologySpec is the JSON description of a topology.
+type TopologySpec struct {
+	Kind  string   `json:"kind"`            // "mesh2d", "torus2d", "hypercube", "ring", "custom"
+	W     int      `json:"w,omitempty"`     // mesh/torus width
+	H     int      `json:"h,omitempty"`     // mesh/torus height
+	Dim   int      `json:"dim,omitempty"`   // hypercube dimension
+	N     int      `json:"n,omitempty"`     // ring size / custom node count
+	Name  string   `json:"name,omitempty"`  // custom topology label
+	Edges [][2]int `json:"edges,omitempty"` // custom directed edges
+}
+
+// Build constructs the topology described by the spec.
+func (ts TopologySpec) Build() (topology.Topology, error) {
+	switch ts.Kind {
+	case "mesh2d":
+		if ts.W < 1 || ts.H < 1 {
+			return nil, fmt.Errorf("stream: mesh2d needs positive w,h (got %d,%d)", ts.W, ts.H)
+		}
+		return topology.NewMesh2D(ts.W, ts.H), nil
+	case "torus2d":
+		if ts.W < 2 || ts.H < 2 {
+			return nil, fmt.Errorf("stream: torus2d needs w,h >= 2 (got %d,%d)", ts.W, ts.H)
+		}
+		return topology.NewTorus2D(ts.W, ts.H), nil
+	case "hypercube":
+		if ts.Dim < 1 || ts.Dim > 20 {
+			return nil, fmt.Errorf("stream: hypercube dim %d out of range [1,20]", ts.Dim)
+		}
+		return topology.NewHypercube(ts.Dim), nil
+	case "ring":
+		if ts.N < 3 {
+			return nil, fmt.Errorf("stream: ring needs n >= 3 (got %d)", ts.N)
+		}
+		return topology.NewRing(ts.N), nil
+	case "custom":
+		edges := make([]topology.Channel, 0, len(ts.Edges))
+		for _, e := range ts.Edges {
+			edges = append(edges, topology.Channel{From: topology.NodeID(e[0]), To: topology.NodeID(e[1])})
+		}
+		return topology.NewCustom(ts.Name, ts.N, edges)
+	default:
+		return nil, fmt.Errorf("stream: unknown topology kind %q", ts.Kind)
+	}
+}
+
+// StreamSpec is the JSON description of one message stream. Source and
+// destination may be given either as node IDs or, for meshes/tori, as
+// (x, y) coordinates.
+type StreamSpec struct {
+	Src      *int    `json:"src,omitempty"`
+	Dst      *int    `json:"dst,omitempty"`
+	SrcXY    *[2]int `json:"srcXY,omitempty"`
+	DstXY    *[2]int `json:"dstXY,omitempty"`
+	Priority int     `json:"priority"`
+	Period   int     `json:"period"`
+	Length   int     `json:"length"`
+	Deadline int     `json:"deadline,omitempty"` // defaults to period
+}
+
+// SetSpec is the JSON description of a whole feasibility-test instance.
+type SetSpec struct {
+	Topology      TopologySpec `json:"topology"`
+	RouterLatency int          `json:"routerLatency,omitempty"`
+	Streams       []StreamSpec `json:"streams"`
+}
+
+// DecodeSet reads a SetSpec from r, builds the topology, routes every
+// stream with the topology's canonical deterministic router, and
+// returns the resulting validated Set.
+func DecodeSet(r io.Reader) (*Set, error) {
+	var spec SetSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("stream: decode: %w", err)
+	}
+	return spec.Build()
+}
+
+// Build constructs the Set described by the spec.
+func (spec SetSpec) Build() (*Set, error) {
+	topo, err := spec.Topology.Build()
+	if err != nil {
+		return nil, err
+	}
+	router, err := routing.ForTopology(topo)
+	if err != nil {
+		return nil, err
+	}
+	if spec.RouterLatency < 0 {
+		return nil, fmt.Errorf("stream: negative router latency %d", spec.RouterLatency)
+	}
+	set := NewSet(topo)
+	set.RouterLatency = spec.RouterLatency
+	for i, ss := range spec.Streams {
+		src, err := resolveNode(topo, ss.Src, ss.SrcXY, "src")
+		if err != nil {
+			return nil, fmt.Errorf("stream %d: %w", i, err)
+		}
+		dst, err := resolveNode(topo, ss.Dst, ss.DstXY, "dst")
+		if err != nil {
+			return nil, fmt.Errorf("stream %d: %w", i, err)
+		}
+		if _, err := set.Add(router, src, dst, ss.Priority, ss.Period, ss.Length, ss.Deadline); err != nil {
+			return nil, fmt.Errorf("stream %d: %w", i, err)
+		}
+	}
+	return set, nil
+}
+
+func resolveNode(t topology.Topology, id *int, xy *[2]int, field string) (topology.NodeID, error) {
+	switch {
+	case id != nil && xy != nil:
+		return 0, fmt.Errorf("%s: give either a node ID or coordinates, not both", field)
+	case id != nil:
+		n := topology.NodeID(*id)
+		return n, topology.Validate(t, n)
+	case xy != nil:
+		switch tt := t.(type) {
+		case *topology.Mesh2D:
+			if !tt.InBounds(xy[0], xy[1]) {
+				return 0, fmt.Errorf("%s: coordinate (%d,%d) outside %s", field, xy[0], xy[1], tt.Name())
+			}
+			return tt.ID(xy[0], xy[1]), nil
+		case *topology.Torus2D:
+			return tt.ID(xy[0], xy[1]), nil
+		default:
+			return 0, fmt.Errorf("%s: coordinates are only valid for mesh/torus topologies", field)
+		}
+	default:
+		return 0, fmt.Errorf("%s: missing node", field)
+	}
+}
+
+// EncodeSet writes set as a SetSpec JSON document. It is the inverse of
+// DecodeSet for sets routed with the canonical router.
+func EncodeSet(w io.Writer, set *Set) error {
+	spec := SetSpec{RouterLatency: set.RouterLatency}
+	switch t := set.Topology.(type) {
+	case *topology.Mesh2D:
+		spec.Topology = TopologySpec{Kind: "mesh2d", W: t.W, H: t.H}
+	case *topology.Torus2D:
+		spec.Topology = TopologySpec{Kind: "torus2d", W: t.W, H: t.H}
+	case *topology.Hypercube:
+		spec.Topology = TopologySpec{Kind: "hypercube", Dim: t.Dim}
+	case *topology.Ring:
+		spec.Topology = TopologySpec{Kind: "ring", N: t.N}
+	case *topology.Custom:
+		ts := TopologySpec{Kind: "custom", N: t.Nodes(), Name: t.Name()}
+		for _, ch := range topology.Channels(t) {
+			ts.Edges = append(ts.Edges, [2]int{int(ch.From), int(ch.To)})
+		}
+		spec.Topology = ts
+	default:
+		return fmt.Errorf("stream: cannot encode topology %s", set.Topology.Name())
+	}
+	for _, s := range set.Streams {
+		src, dst := int(s.Src), int(s.Dst)
+		spec.Streams = append(spec.Streams, StreamSpec{
+			Src: &src, Dst: &dst,
+			Priority: s.Priority, Period: s.Period, Length: s.Length, Deadline: s.Deadline,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}

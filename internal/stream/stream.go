@@ -1,0 +1,215 @@
+// Package stream models the paper's real-time message streams.
+//
+// A message stream M_i is the continuous periodic traffic between a
+// fixed source and destination node, characterised by the seven-tuple
+// (S_id, R_id, P_i, T_i, C_i, D_i, L_i): source, destination, priority,
+// minimum inter-generation time, maximum message length in flits,
+// deadline, and network latency. The network latency L_i — the time to
+// deliver one message when no other traffic is present — is derived
+// from the routed path: L = hops + C - 1 flit times (one flit time per
+// header hop, pipelined body flits). This formula reproduces all five
+// L values of the paper's worked example (§4.4).
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// ID identifies a message stream within a Set. IDs are the index of the
+// stream in the set, matching the paper's M_0 .. M_{n-1} naming.
+type ID int
+
+// Stream is one real-time message stream.
+//
+// Priority follows the paper's worked example: a LARGER Priority value
+// means a MORE important stream (M_0 with P=5 is never blocked).
+type Stream struct {
+	ID       ID
+	Src, Dst topology.NodeID
+	Priority int // P_i: larger is more important
+	Period   int // T_i: minimum message inter-generation time, flit times
+	Length   int // C_i: maximum message length, flits
+	Deadline int // D_i: requested delay limit, flit times
+	Latency  int // L_i: network latency, flit times (computed from Path)
+	Path     routing.Path
+}
+
+// NetworkLatency returns the unloaded delivery time of a message of c
+// flits over h hops: the header takes one flit time per hop and the
+// remaining c-1 flits follow in pipeline.
+func NetworkLatency(hops, c int) int {
+	if hops <= 0 || c <= 0 {
+		return 0
+	}
+	return hops + c - 1
+}
+
+// NetworkLatencyWithRouter generalises NetworkLatency to routers with
+// an r-cycle pipeline per hop: the header pays the pipeline at every
+// intermediate router (not at the destination's ejection), and body
+// flits still follow at full rate.
+func NetworkLatencyWithRouter(hops, c, r int) int {
+	if hops <= 0 || c <= 0 {
+		return 0
+	}
+	return hops*(1+r) - r + c - 1
+}
+
+// Validate reports the first modelling error in s: non-positive period,
+// length or deadline, a latency that does not match the path, or a path
+// that does not connect Src to Dst on t.
+func (s *Stream) Validate(t topology.Topology) error {
+	if s.Period <= 0 {
+		return fmt.Errorf("stream %d: period %d must be positive", s.ID, s.Period)
+	}
+	if s.Length <= 0 {
+		return fmt.Errorf("stream %d: length %d must be positive", s.ID, s.Length)
+	}
+	if s.Deadline <= 0 {
+		return fmt.Errorf("stream %d: deadline %d must be positive", s.ID, s.Deadline)
+	}
+	if s.Src == s.Dst {
+		return fmt.Errorf("stream %d: source equals destination (%d)", s.ID, s.Src)
+	}
+	if s.Path.Src != s.Src || s.Path.Dst != s.Dst {
+		return fmt.Errorf("stream %d: path endpoints (%d,%d) do not match stream (%d,%d)",
+			s.ID, s.Path.Src, s.Path.Dst, s.Src, s.Dst)
+	}
+	if err := s.Path.Validate(t); err != nil {
+		return fmt.Errorf("stream %d: %w", s.ID, err)
+	}
+	return nil
+}
+
+// validateIn checks s against the set-level router latency as well.
+func (s *Stream) validateIn(set *Set) error {
+	if err := s.Validate(set.Topology); err != nil {
+		return err
+	}
+	if want := NetworkLatencyWithRouter(s.Path.Hops(), s.Length, set.RouterLatency); s.Latency != want {
+		return fmt.Errorf("stream %d: latency %d inconsistent with path (%d hops, %d flits, router latency %d): want %d",
+			s.ID, s.Latency, s.Path.Hops(), s.Length, set.RouterLatency, want)
+	}
+	return nil
+}
+
+// Set is an ordered collection of message streams over one topology,
+// the "instance" of the paper's message stream feasibility problem.
+type Set struct {
+	Topology topology.Topology
+	Streams  []*Stream
+	// RouterLatency is the per-hop router pipeline depth in cycles
+	// shared by the whole machine (0 = the paper's single-cycle
+	// model). It enters every stream's network latency, so the
+	// analysis and the simulator stay consistent by construction.
+	RouterLatency int
+}
+
+// NewSet returns an empty stream set over t.
+func NewSet(t topology.Topology) *Set {
+	return &Set{Topology: t}
+}
+
+// NewSetWithRouterLatency returns an empty stream set whose network
+// latencies account for an r-cycle router pipeline per hop.
+func NewSetWithRouterLatency(t topology.Topology, r int) *Set {
+	if r < 0 {
+		panic(fmt.Sprintf("stream: negative router latency %d", r))
+	}
+	return &Set{Topology: t, RouterLatency: r}
+}
+
+// Add routes and appends a stream with the given parameters, assigning
+// the next ID and computing Latency from the routed path. The deadline
+// defaults to the period when d == 0 (the common implicit-deadline
+// convention; the paper's tables use T as the horizon as well).
+func (set *Set) Add(r routing.Router, src, dst topology.NodeID, prio, period, length, d int) (*Stream, error) {
+	path, err := r.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if d == 0 {
+		d = period
+	}
+	s := &Stream{
+		ID:       ID(len(set.Streams)),
+		Src:      src,
+		Dst:      dst,
+		Priority: prio,
+		Period:   period,
+		Length:   length,
+		Deadline: d,
+		Latency:  NetworkLatencyWithRouter(path.Hops(), length, set.RouterLatency),
+		Path:     path,
+	}
+	if err := s.validateIn(set); err != nil {
+		return nil, err
+	}
+	set.Streams = append(set.Streams, s)
+	return s, nil
+}
+
+// Len returns the number of streams.
+func (set *Set) Len() int { return len(set.Streams) }
+
+// Get returns the stream with the given ID, or nil if out of range.
+func (set *Set) Get(id ID) *Stream {
+	if id < 0 || int(id) >= len(set.Streams) {
+		return nil
+	}
+	return set.Streams[id]
+}
+
+// Validate checks every stream and that IDs are consistent with their
+// positions in the set.
+func (set *Set) Validate() error {
+	if set.RouterLatency < 0 {
+		return fmt.Errorf("stream set: negative router latency %d", set.RouterLatency)
+	}
+	for i, s := range set.Streams {
+		if s == nil {
+			return fmt.Errorf("stream set: nil stream at index %d", i)
+		}
+		if int(s.ID) != i {
+			return fmt.Errorf("stream set: stream at index %d has ID %d", i, s.ID)
+		}
+		if err := s.validateIn(set); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PriorityLevels returns the distinct priority values present in the
+// set, in decreasing order (most important first).
+func (set *Set) PriorityLevels() []int {
+	seen := map[int]bool{}
+	var levels []int
+	for _, s := range set.Streams {
+		if !seen[s.Priority] {
+			seen[s.Priority] = true
+			levels = append(levels, s.Priority)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	return levels
+}
+
+// ByPriorityDesc returns the streams sorted by decreasing priority,
+// ties broken by ascending ID (a stable, deterministic order used by
+// both the analysis and the simulator).
+func (set *Set) ByPriorityDesc() []*Stream {
+	out := make([]*Stream, len(set.Streams))
+	copy(out, set.Streams)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,286 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// paperSet builds the worked example of §4.4 on a 10x10 mesh.
+func paperSet(t *testing.T) *Set {
+	t.Helper()
+	m := topology.NewMesh2D(10, 10)
+	r := routing.NewXY(m)
+	set := NewSet(m)
+	add := func(sx, sy, dx, dy, p, period, c, d int) *Stream {
+		s, err := set.Add(r, m.ID(sx, sy), m.ID(dx, dy), p, period, c, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	add(7, 3, 7, 7, 5, 15, 4, 15)
+	add(1, 1, 5, 4, 4, 10, 2, 10)
+	add(2, 1, 7, 5, 3, 40, 4, 40)
+	add(4, 1, 8, 5, 2, 45, 9, 45)
+	add(6, 1, 9, 3, 1, 50, 6, 50)
+	return set
+}
+
+func TestNetworkLatencyMatchesPaper(t *testing.T) {
+	set := paperSet(t)
+	// The paper's seven-tuples give L = 7, 8, 12, 16, 10.
+	want := []int{7, 8, 12, 16, 10}
+	for i, s := range set.Streams {
+		if s.Latency != want[i] {
+			t.Errorf("M%d latency = %d, want %d", i, s.Latency, want[i])
+		}
+	}
+}
+
+func TestNetworkLatencyEdgeCases(t *testing.T) {
+	if NetworkLatency(0, 5) != 0 {
+		t.Error("zero-hop latency should be 0")
+	}
+	if NetworkLatency(5, 0) != 0 {
+		t.Error("zero-length latency should be 0")
+	}
+	if NetworkLatency(1, 1) != 1 {
+		t.Error("one flit one hop should be 1")
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	set := paperSet(t)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	r := routing.NewXY(m)
+	set := NewSet(m)
+	if _, err := set.Add(r, 0, 0, 1, 10, 2, 10); err == nil {
+		t.Error("accepted src == dst")
+	}
+	if _, err := set.Add(r, 0, 5, 1, 0, 2, 10); err == nil {
+		t.Error("accepted zero period")
+	}
+	if _, err := set.Add(r, 0, 5, 1, 10, 0, 10); err == nil {
+		t.Error("accepted zero length")
+	}
+	if _, err := set.Add(r, 0, 99, 1, 10, 2, 10); err == nil {
+		t.Error("accepted bad node")
+	}
+}
+
+func TestDeadlineDefaultsToPeriod(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	r := routing.NewXY(m)
+	set := NewSet(m)
+	s, err := set.Add(r, 0, 5, 1, 42, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Deadline != 42 {
+		t.Fatalf("deadline = %d, want 42", s.Deadline)
+	}
+}
+
+func TestGet(t *testing.T) {
+	set := paperSet(t)
+	if set.Get(2) == nil || set.Get(2).ID != 2 {
+		t.Fatal("Get(2) wrong")
+	}
+	if set.Get(-1) != nil || set.Get(99) != nil {
+		t.Fatal("Get out of range should be nil")
+	}
+	if set.Len() != 5 {
+		t.Fatalf("Len = %d", set.Len())
+	}
+}
+
+func TestPriorityLevels(t *testing.T) {
+	set := paperSet(t)
+	got := set.PriorityLevels()
+	want := []int{5, 4, 3, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("levels = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestByPriorityDesc(t *testing.T) {
+	m := topology.NewMesh2D(4, 4)
+	r := routing.NewXY(m)
+	set := NewSet(m)
+	// Two streams at the same priority: ties break by ID.
+	set.Add(r, 0, 5, 2, 10, 1, 10)
+	set.Add(r, 1, 6, 7, 10, 1, 10)
+	set.Add(r, 2, 7, 2, 10, 1, 10)
+	got := set.ByPriorityDesc()
+	wantIDs := []ID{1, 0, 2}
+	for i, s := range got {
+		if s.ID != wantIDs[i] {
+			t.Fatalf("order = %v at %d, want %v", s.ID, i, wantIDs)
+		}
+	}
+}
+
+func TestValidateCatchesTampering(t *testing.T) {
+	set := paperSet(t)
+	set.Streams[1].Latency = 3
+	if err := set.Validate(); err == nil {
+		t.Fatal("Validate accepted inconsistent latency")
+	}
+	set = paperSet(t)
+	set.Streams[0].ID = 3
+	if err := set.Validate(); err == nil {
+		t.Fatal("Validate accepted mismatched ID")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	set := paperSet(t)
+	var buf bytes.Buffer
+	if err := EncodeSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != set.Len() {
+		t.Fatalf("round trip lost streams: %d != %d", got.Len(), set.Len())
+	}
+	for i := range set.Streams {
+		a, b := set.Streams[i], got.Streams[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.Priority != b.Priority ||
+			a.Period != b.Period || a.Length != b.Length || a.Deadline != b.Deadline ||
+			a.Latency != b.Latency {
+			t.Fatalf("stream %d mismatch after round trip:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestDecodeSetCoordinates(t *testing.T) {
+	in := `{
+		"topology": {"kind": "mesh2d", "w": 10, "h": 10},
+		"streams": [
+			{"srcXY": [7,3], "dstXY": [7,7], "priority": 5, "period": 150, "length": 4}
+		]
+	}`
+	set, err := DecodeSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := set.Get(0)
+	if s.Src != 37 || s.Dst != 77 {
+		t.Fatalf("src/dst = %d/%d", s.Src, s.Dst)
+	}
+	if s.Deadline != 150 {
+		t.Fatalf("deadline default = %d", s.Deadline)
+	}
+	if s.Latency != 7 {
+		t.Fatalf("latency = %d", s.Latency)
+	}
+}
+
+func TestDecodeSetErrors(t *testing.T) {
+	cases := []string{
+		`{"topology": {"kind": "nosuch"}, "streams": []}`,
+		`{"topology": {"kind": "mesh2d", "w": 0, "h": 4}, "streams": []}`,
+		`{"topology": {"kind": "mesh2d", "w": 4, "h": 4}, "streams": [{"priority":1,"period":10,"length":1}]}`,
+		`{"topology": {"kind": "mesh2d", "w": 4, "h": 4}, "streams": [{"src":0,"srcXY":[0,0],"dst":5,"priority":1,"period":10,"length":1}]}`,
+		`{"topology": {"kind": "hypercube", "dim": 3}, "streams": [{"srcXY":[0,0],"dstXY":[1,1],"priority":1,"period":10,"length":1}]}`,
+		`{"topology": {"kind": "ring", "n": 2}, "streams": []}`,
+		`{"bogusfield": 3}`,
+	}
+	for i, in := range cases {
+		if _, err := DecodeSet(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: decode accepted invalid input", i)
+		}
+	}
+}
+
+func TestDecodeSetAllTopologies(t *testing.T) {
+	cases := []string{
+		`{"topology": {"kind": "torus2d", "w": 4, "h": 4}, "streams": [{"src":0,"dst":5,"priority":1,"period":10,"length":1}]}`,
+		`{"topology": {"kind": "hypercube", "dim": 3}, "streams": [{"src":0,"dst":5,"priority":1,"period":10,"length":1}]}`,
+		`{"topology": {"kind": "ring", "n": 6}, "streams": [{"src":0,"dst":3,"priority":1,"period":10,"length":1}]}`,
+	}
+	for i, in := range cases {
+		set, err := DecodeSet(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+// Property: latency is always hops + length - 1 for routed streams, and
+// always >= length for connected pairs.
+func TestLatencyPropertyQuick(t *testing.T) {
+	m := topology.NewMesh2D(10, 10)
+	r := routing.NewXY(m)
+	f := func(a, b uint16, cRaw uint8) bool {
+		src := topology.NodeID(int(a) % 100)
+		dst := topology.NodeID(int(b) % 100)
+		if src == dst {
+			return true
+		}
+		c := int(cRaw%40) + 1
+		set := NewSet(m)
+		s, err := set.Add(r, src, dst, 1, 1000, c, 1000)
+		if err != nil {
+			return false
+		}
+		return s.Latency == s.Path.Hops()+c-1 && s.Latency >= c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSetWithRouterLatency(t *testing.T) {
+	m := topology.NewMesh2D(4, 1)
+	r := routing.NewXY(m)
+	set := NewSetWithRouterLatency(m, 2)
+	s, err := set.Add(r, 0, 3, 1, 100, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 hops, R=2: L = 3*3 - 2 + 5 - 1 = 11.
+	if s.Latency != 11 {
+		t.Fatalf("latency = %d, want 11", s.Latency)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative router latency should panic")
+		}
+	}()
+	NewSetWithRouterLatency(m, -1)
+}
+
+func TestNetworkLatencyWithRouterEdgeCases(t *testing.T) {
+	if NetworkLatencyWithRouter(0, 5, 2) != 0 || NetworkLatencyWithRouter(5, 0, 2) != 0 {
+		t.Fatal("degenerate cases should be 0")
+	}
+	if NetworkLatencyWithRouter(4, 3, 0) != NetworkLatency(4, 3) {
+		t.Fatal("R=0 should match the plain formula")
+	}
+}

@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Custom is an arbitrary directed network given by an explicit edge
+// list — switch boards, partially populated meshes, or a mesh with
+// links removed after faults. Nodes are 0..N-1; edges are directed (add
+// both directions for a bidirectional link).
+type Custom struct {
+	N     int
+	Name_ string
+	adj   [][]NodeID
+	edges map[Channel]bool
+}
+
+// NewCustom builds a custom topology from a directed edge list. Edges
+// must reference nodes in [0, n); self-loops and duplicates are
+// rejected.
+func NewCustom(name string, n int, edges []Channel) (*Custom, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: custom needs at least one node, got %d", n)
+	}
+	if name == "" {
+		name = fmt.Sprintf("custom-%d", n)
+	}
+	c := &Custom{N: n, Name_: name, adj: make([][]NodeID, n), edges: make(map[Channel]bool, len(edges))}
+	for _, e := range edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return nil, fmt.Errorf("topology: edge %s outside [0,%d)", e, n)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("topology: self-loop at %d", e.From)
+		}
+		if c.edges[e] {
+			return nil, fmt.Errorf("topology: duplicate edge %s", e)
+		}
+		c.edges[e] = true
+		c.adj[e.From] = append(c.adj[e.From], e.To)
+	}
+	for i := range c.adj {
+		sort.Slice(c.adj[i], func(a, b int) bool { return c.adj[i][a] < c.adj[i][b] })
+	}
+	return c, nil
+}
+
+// Name implements Topology.
+func (c *Custom) Name() string { return c.Name_ }
+
+// Nodes implements Topology.
+func (c *Custom) Nodes() int { return c.N }
+
+// Neighbors implements Topology (ascending node order).
+func (c *Custom) Neighbors(n NodeID) []NodeID {
+	if n < 0 || int(n) >= c.N {
+		return nil
+	}
+	out := make([]NodeID, len(c.adj[n]))
+	copy(out, c.adj[n])
+	return out
+}
+
+// HasEdge implements Topology.
+func (c *Custom) HasEdge(a, b NodeID) bool { return c.edges[Channel{From: a, To: b}] }
+
+var _ Topology = (*Custom)(nil)

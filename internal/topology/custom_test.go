@@ -1,0 +1,71 @@
+package topology
+
+import "testing"
+
+func lineCustom(t *testing.T) *Custom {
+	t.Helper()
+	// 0 <-> 1 <-> 2, plus a one-way shortcut 0 -> 2.
+	c, err := NewCustom("line3", 3, []Channel{
+		{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCustomBasics(t *testing.T) {
+	c := lineCustom(t)
+	if c.Nodes() != 3 || c.Name() != "line3" {
+		t.Fatalf("basics: %d %q", c.Nodes(), c.Name())
+	}
+	if !c.HasEdge(0, 2) || c.HasEdge(2, 0) {
+		t.Fatal("directed edge handling wrong")
+	}
+	nb := c.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("Neighbors(0) = %v", nb)
+	}
+	if c.Neighbors(99) != nil {
+		t.Fatal("out-of-range neighbours should be nil")
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	cases := []struct {
+		n     int
+		edges []Channel
+	}{
+		{0, nil},                       // no nodes
+		{2, []Channel{{0, 5}}},         // out of range
+		{2, []Channel{{1, 1}}},         // self loop
+		{2, []Channel{{0, 1}, {0, 1}}}, // duplicate
+		{3, []Channel{{-1, 0}}},        // negative
+	}
+	for i, cse := range cases {
+		if _, err := NewCustom("x", cse.n, cse.edges); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Default name.
+	c, err := NewCustom("", 2, []Channel{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "custom-2" {
+		t.Fatalf("default name %q", c.Name())
+	}
+}
+
+func TestCustomChannelsEnumeration(t *testing.T) {
+	c := lineCustom(t)
+	chs := Channels(c)
+	if len(chs) != 5 {
+		t.Fatalf("channels: %v", chs)
+	}
+	for _, ch := range chs {
+		if !c.HasEdge(ch.From, ch.To) {
+			t.Fatalf("phantom channel %s", ch)
+		}
+	}
+}

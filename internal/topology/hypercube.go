@@ -1,0 +1,86 @@
+package topology
+
+import "fmt"
+
+// Hypercube is a binary d-cube with 2^d nodes. Two nodes are adjacent
+// iff their IDs differ in exactly one bit. The paper's system model
+// names the hypercube alongside the mesh as a candidate interconnect.
+type Hypercube struct {
+	Dim int
+}
+
+// NewHypercube returns a d-dimensional hypercube. It panics for d < 1
+// or d > 20 (2^20 nodes is far beyond any realistic analysis size).
+func NewHypercube(d int) *Hypercube {
+	if d < 1 || d > 20 {
+		panic(fmt.Sprintf("topology: invalid hypercube dimension %d", d))
+	}
+	return &Hypercube{Dim: d}
+}
+
+// Name implements Topology.
+func (h *Hypercube) Name() string { return fmt.Sprintf("hypercube-%d", h.Dim) }
+
+// Nodes implements Topology.
+func (h *Hypercube) Nodes() int { return 1 << h.Dim }
+
+// Neighbors implements Topology. Order: ascending flipped-bit position.
+func (h *Hypercube) Neighbors(n NodeID) []NodeID {
+	out := make([]NodeID, 0, h.Dim)
+	for b := 0; b < h.Dim; b++ {
+		out = append(out, n^NodeID(1<<b))
+	}
+	return out
+}
+
+// HasEdge implements Topology.
+func (h *Hypercube) HasEdge(a, b NodeID) bool {
+	if a < 0 || b < 0 || int(a) >= h.Nodes() || int(b) >= h.Nodes() {
+		return false
+	}
+	x := uint(a ^ b)
+	return x != 0 && x&(x-1) == 0
+}
+
+var _ Topology = (*Hypercube)(nil)
+
+// Ring is a unidirectional-pair ring of N nodes: node i is connected to
+// (i-1) mod N and (i+1) mod N.
+type Ring struct {
+	N int
+}
+
+// NewRing returns an N-node ring. It panics for N < 3.
+func NewRing(n int) *Ring {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: invalid ring size %d", n))
+	}
+	return &Ring{N: n}
+}
+
+// Name implements Topology.
+func (r *Ring) Name() string { return fmt.Sprintf("ring-%d", r.N) }
+
+// Nodes implements Topology.
+func (r *Ring) Nodes() int { return r.N }
+
+// Neighbors implements Topology. Order: predecessor, successor.
+func (r *Ring) Neighbors(n NodeID) []NodeID {
+	prev := NodeID((int(n) - 1 + r.N) % r.N)
+	next := NodeID((int(n) + 1) % r.N)
+	if prev == next {
+		return []NodeID{prev}
+	}
+	return []NodeID{prev, next}
+}
+
+// HasEdge implements Topology.
+func (r *Ring) HasEdge(a, b NodeID) bool {
+	if a < 0 || b < 0 || int(a) >= r.N || int(b) >= r.N || a == b {
+		return false
+	}
+	d := (int(b) - int(a) + r.N) % r.N
+	return d == 1 || d == r.N-1
+}
+
+var _ Topology = (*Ring)(nil)

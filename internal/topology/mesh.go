@@ -1,0 +1,72 @@
+package topology
+
+import "fmt"
+
+// Mesh2D is a W×H two-dimensional mesh. Node (x, y) has ID y*W + x.
+// Interior nodes have four neighbours; edges and corners fewer. This is
+// the topology used throughout the paper's evaluation (a 10×10 mesh).
+type Mesh2D struct {
+	W, H int
+}
+
+// NewMesh2D returns a W×H mesh. It panics if either dimension is < 1,
+// since a topology of non-positive extent is a programming error.
+func NewMesh2D(w, h int) *Mesh2D {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("topology: invalid mesh dimensions %dx%d", w, h))
+	}
+	return &Mesh2D{W: w, H: h}
+}
+
+// Name implements Topology.
+func (m *Mesh2D) Name() string { return fmt.Sprintf("mesh2d-%dx%d", m.W, m.H) }
+
+// Nodes implements Topology.
+func (m *Mesh2D) Nodes() int { return m.W * m.H }
+
+// ID returns the node ID of coordinate (x, y).
+func (m *Mesh2D) ID(x, y int) NodeID { return NodeID(y*m.W + x) }
+
+// XY returns the coordinate of node n.
+func (m *Mesh2D) XY(n NodeID) (x, y int) { return int(n) % m.W, int(n) / m.W }
+
+// InBounds reports whether (x, y) is a valid coordinate.
+func (m *Mesh2D) InBounds(x, y int) bool { return x >= 0 && x < m.W && y >= 0 && y < m.H }
+
+// Neighbors implements Topology. Order: -x, +x, -y, +y.
+func (m *Mesh2D) Neighbors(n NodeID) []NodeID {
+	x, y := m.XY(n)
+	out := make([]NodeID, 0, 4)
+	if x > 0 {
+		out = append(out, m.ID(x-1, y))
+	}
+	if x < m.W-1 {
+		out = append(out, m.ID(x+1, y))
+	}
+	if y > 0 {
+		out = append(out, m.ID(x, y-1))
+	}
+	if y < m.H-1 {
+		out = append(out, m.ID(x, y+1))
+	}
+	return out
+}
+
+// HasEdge implements Topology.
+func (m *Mesh2D) HasEdge(a, b NodeID) bool {
+	if a < 0 || b < 0 || int(a) >= m.Nodes() || int(b) >= m.Nodes() {
+		return false
+	}
+	ax, ay := m.XY(a)
+	bx, by := m.XY(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx+dy == 1
+}
+
+var _ Topology = (*Mesh2D)(nil)

@@ -1,0 +1,65 @@
+// Package topology models the direct interconnection networks on which
+// real-time wormhole communication is analysed and simulated: 2D meshes,
+// 2D tori, hypercubes and rings.
+//
+// A topology is a set of nodes connected by directed physical channels.
+// Every physical channel carries one flit per flit time; virtual channels
+// multiplexed onto a physical channel are modelled by the simulator
+// (package sim), not here.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node of a topology. Valid IDs are 0..Nodes()-1.
+type NodeID int
+
+// Channel is a directed physical channel from one node to an adjacent
+// node. Two messages conflict on a link only if they use the same
+// directed channel; opposite directions of a bidirectional link are
+// distinct channels.
+type Channel struct {
+	From, To NodeID
+}
+
+// String renders the channel as "from->to".
+func (c Channel) String() string { return fmt.Sprintf("%d->%d", c.From, c.To) }
+
+// Topology describes a direct network: a node set and its adjacency.
+type Topology interface {
+	// Name identifies the topology family and size, e.g. "mesh2d-10x10".
+	Name() string
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Neighbors returns the nodes adjacent to n, in deterministic order.
+	Neighbors(n NodeID) []NodeID
+	// HasEdge reports whether a directed channel from a to b exists.
+	HasEdge(a, b NodeID) bool
+}
+
+// Channels enumerates every directed channel of t in deterministic order.
+func Channels(t Topology) []Channel {
+	var chs []Channel
+	for n := 0; n < t.Nodes(); n++ {
+		for _, m := range t.Neighbors(NodeID(n)) {
+			chs = append(chs, Channel{NodeID(n), m})
+		}
+	}
+	sort.Slice(chs, func(i, j int) bool {
+		if chs[i].From != chs[j].From {
+			return chs[i].From < chs[j].From
+		}
+		return chs[i].To < chs[j].To
+	})
+	return chs
+}
+
+// Validate reports an error if n is not a node of t.
+func Validate(t Topology, n NodeID) error {
+	if n < 0 || int(n) >= t.Nodes() {
+		return fmt.Errorf("topology %s: node %d out of range [0,%d)", t.Name(), n, t.Nodes())
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMesh2DBasics(t *testing.T) {
+	m := NewMesh2D(10, 10)
+	if got := m.Nodes(); got != 100 {
+		t.Fatalf("Nodes() = %d, want 100", got)
+	}
+	if got := m.Name(); got != "mesh2d-10x10" {
+		t.Fatalf("Name() = %q", got)
+	}
+	if id := m.ID(7, 3); id != 37 {
+		t.Fatalf("ID(7,3) = %d, want 37", id)
+	}
+	x, y := m.XY(37)
+	if x != 7 || y != 3 {
+		t.Fatalf("XY(37) = (%d,%d), want (7,3)", x, y)
+	}
+}
+
+func TestMesh2DNeighborCounts(t *testing.T) {
+	m := NewMesh2D(4, 3)
+	counts := map[int]int{} // degree -> how many nodes
+	for n := 0; n < m.Nodes(); n++ {
+		counts[len(m.Neighbors(NodeID(n)))]++
+	}
+	// 4 corners (deg 2), edges: 2*(4-2)+2*(3-2)=6 (deg 3), interior 2 (deg 4).
+	if counts[2] != 4 || counts[3] != 6 || counts[4] != 2 {
+		t.Fatalf("degree histogram = %v, want map[2:4 3:6 4:2]", counts)
+	}
+}
+
+func TestMesh2DEdgeSymmetry(t *testing.T) {
+	m := NewMesh2D(5, 4)
+	for a := 0; a < m.Nodes(); a++ {
+		for b := 0; b < m.Nodes(); b++ {
+			if m.HasEdge(NodeID(a), NodeID(b)) != m.HasEdge(NodeID(b), NodeID(a)) {
+				t.Fatalf("asymmetric edge between %d and %d", a, b)
+			}
+		}
+	}
+}
+
+func TestMesh2DNoSelfLoops(t *testing.T) {
+	m := NewMesh2D(3, 3)
+	for n := 0; n < m.Nodes(); n++ {
+		if m.HasEdge(NodeID(n), NodeID(n)) {
+			t.Fatalf("self loop at %d", n)
+		}
+	}
+}
+
+func TestMeshPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMesh2D(0, 5) did not panic")
+		}
+	}()
+	NewMesh2D(0, 5)
+}
+
+func TestTorus2DBasics(t *testing.T) {
+	tr := NewTorus2D(4, 4)
+	if tr.Nodes() != 16 {
+		t.Fatalf("Nodes() = %d", tr.Nodes())
+	}
+	// Every node of a torus has exactly 4 distinct neighbours when both
+	// extents are > 2.
+	tr2 := NewTorus2D(5, 3)
+	for n := 0; n < tr2.Nodes(); n++ {
+		if got := len(tr2.Neighbors(NodeID(n))); got != 4 {
+			t.Fatalf("node %d has %d neighbours, want 4", n, got)
+		}
+	}
+}
+
+func TestTorus2DWrap(t *testing.T) {
+	tr := NewTorus2D(4, 4)
+	// (0,0) and (3,0) are adjacent via wrap-around.
+	if !tr.HasEdge(tr.ID(0, 0), tr.ID(3, 0)) {
+		t.Fatal("missing x wrap edge")
+	}
+	if !tr.HasEdge(tr.ID(0, 0), tr.ID(0, 3)) {
+		t.Fatal("missing y wrap edge")
+	}
+	if tr.HasEdge(tr.ID(0, 0), tr.ID(2, 0)) {
+		t.Fatal("unexpected edge across two hops")
+	}
+}
+
+func TestTorus2DExtentTwoDedup(t *testing.T) {
+	tr := NewTorus2D(2, 3)
+	// In the extent-2 dimension, -x and +x reach the same node, which
+	// must appear once.
+	n := tr.ID(0, 0)
+	nb := tr.Neighbors(n)
+	seen := map[NodeID]bool{}
+	for _, m := range nb {
+		if seen[m] {
+			t.Fatalf("duplicate neighbour %d in %v", m, nb)
+		}
+		seen[m] = true
+	}
+	if len(nb) != 3 { // one x neighbour (deduped), two y neighbours
+		t.Fatalf("Neighbors = %v, want 3 entries", nb)
+	}
+}
+
+func TestHypercubeBasics(t *testing.T) {
+	h := NewHypercube(4)
+	if h.Nodes() != 16 {
+		t.Fatalf("Nodes() = %d", h.Nodes())
+	}
+	for n := 0; n < h.Nodes(); n++ {
+		if got := len(h.Neighbors(NodeID(n))); got != 4 {
+			t.Fatalf("node %d degree %d, want 4", n, got)
+		}
+	}
+	if !h.HasEdge(0, 8) || h.HasEdge(0, 3) || h.HasEdge(5, 5) {
+		t.Fatal("hypercube adjacency wrong")
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(6)
+	if r.Nodes() != 6 {
+		t.Fatalf("Nodes() = %d", r.Nodes())
+	}
+	if !r.HasEdge(0, 5) || !r.HasEdge(5, 0) || !r.HasEdge(2, 3) || r.HasEdge(0, 2) {
+		t.Fatal("ring adjacency wrong")
+	}
+	for n := 0; n < r.Nodes(); n++ {
+		if got := len(r.Neighbors(NodeID(n))); got != 2 {
+			t.Fatalf("node %d degree %d, want 2", n, got)
+		}
+	}
+}
+
+func TestChannelsEnumeration(t *testing.T) {
+	m := NewMesh2D(3, 2)
+	chs := Channels(m)
+	// Directed channels of a WxH mesh: 2*(H*(W-1) + W*(H-1)).
+	want := 2 * (2*2 + 3*1)
+	if len(chs) != want {
+		t.Fatalf("len(Channels) = %d, want %d", len(chs), want)
+	}
+	seen := map[Channel]bool{}
+	for _, c := range chs {
+		if seen[c] {
+			t.Fatalf("duplicate channel %v", c)
+		}
+		seen[c] = true
+		if !m.HasEdge(c.From, c.To) {
+			t.Fatalf("channel %v is not an edge", c)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := NewMesh2D(3, 3)
+	if err := Validate(m, 0); err != nil {
+		t.Fatalf("Validate(0): %v", err)
+	}
+	if err := Validate(m, 8); err != nil {
+		t.Fatalf("Validate(8): %v", err)
+	}
+	if err := Validate(m, 9); err == nil {
+		t.Fatal("Validate(9) accepted out-of-range node")
+	}
+	if err := Validate(m, -1); err == nil {
+		t.Fatal("Validate(-1) accepted negative node")
+	}
+}
+
+// Property: for all topologies, Neighbors and HasEdge agree.
+func TestNeighborsHasEdgeAgreementQuick(t *testing.T) {
+	topos := []Topology{
+		NewMesh2D(6, 5), NewTorus2D(5, 4), NewHypercube(4), NewRing(9),
+	}
+	for _, topo := range topos {
+		topo := topo
+		f := func(a, b uint16) bool {
+			na := NodeID(int(a) % topo.Nodes())
+			nb := NodeID(int(b) % topo.Nodes())
+			inNb := false
+			for _, m := range topo.Neighbors(na) {
+				if m == nb {
+					inNb = true
+					break
+				}
+			}
+			return inNb == topo.HasEdge(na, nb)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", topo.Name(), err)
+		}
+	}
+}
+
+// Property: mesh ID/XY round-trip.
+func TestMeshIDXYRoundTripQuick(t *testing.T) {
+	m := NewMesh2D(13, 7)
+	f := func(raw uint16) bool {
+		n := NodeID(int(raw) % m.Nodes())
+		x, y := m.XY(n)
+		return m.ID(x, y) == n && m.InBounds(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	c := Channel{From: 3, To: 4}
+	if got := c.String(); got != "3->4" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestTopologyNames(t *testing.T) {
+	if NewTorus2D(3, 4).Name() != "torus2d-3x4" ||
+		NewHypercube(3).Name() != "hypercube-3" ||
+		NewRing(5).Name() != "ring-5" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewTorus2D(1, 3) },
+		func() { NewHypercube(0) },
+		func() { NewHypercube(21) },
+		func() { NewRing(2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,71 @@
+package topology
+
+import "fmt"
+
+// Torus2D is a W×H two-dimensional torus: a mesh with wrap-around
+// channels in both dimensions. Node (x, y) has ID y*W + x.
+type Torus2D struct {
+	W, H int
+}
+
+// NewTorus2D returns a W×H torus. It panics if either dimension is < 2,
+// because wrap-around channels on a dimension of extent 1 would be
+// self-loops.
+func NewTorus2D(w, h int) *Torus2D {
+	if w < 2 || h < 2 {
+		panic(fmt.Sprintf("topology: invalid torus dimensions %dx%d", w, h))
+	}
+	return &Torus2D{W: w, H: h}
+}
+
+// Name implements Topology.
+func (t *Torus2D) Name() string { return fmt.Sprintf("torus2d-%dx%d", t.W, t.H) }
+
+// Nodes implements Topology.
+func (t *Torus2D) Nodes() int { return t.W * t.H }
+
+// ID returns the node ID of coordinate (x, y) taken modulo the extents.
+func (t *Torus2D) ID(x, y int) NodeID {
+	x = ((x % t.W) + t.W) % t.W
+	y = ((y % t.H) + t.H) % t.H
+	return NodeID(y*t.W + x)
+}
+
+// XY returns the coordinate of node n.
+func (t *Torus2D) XY(n NodeID) (x, y int) { return int(n) % t.W, int(n) / t.W }
+
+// Neighbors implements Topology. Order: -x, +x, -y, +y (wrapping).
+// On a dimension of extent 2 the two directions reach the same node, so
+// the neighbour appears once.
+func (t *Torus2D) Neighbors(n NodeID) []NodeID {
+	x, y := t.XY(n)
+	out := make([]NodeID, 0, 4)
+	add := func(id NodeID) {
+		for _, e := range out {
+			if e == id {
+				return
+			}
+		}
+		out = append(out, id)
+	}
+	add(t.ID(x-1, y))
+	add(t.ID(x+1, y))
+	add(t.ID(x, y-1))
+	add(t.ID(x, y+1))
+	return out
+}
+
+// HasEdge implements Topology.
+func (t *Torus2D) HasEdge(a, b NodeID) bool {
+	if a < 0 || b < 0 || int(a) >= t.Nodes() || int(b) >= t.Nodes() || a == b {
+		return false
+	}
+	for _, m := range t.Neighbors(a) {
+		if m == b {
+			return true
+		}
+	}
+	return false
+}
+
+var _ Topology = (*Torus2D)(nil)

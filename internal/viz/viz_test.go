@@ -1,0 +1,122 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+func figureDiagram(t *testing.T) *core.Diagram {
+	t.Helper()
+	d, err := core.NewDiagram([]core.Element{
+		{ID: 1, Priority: 4, Period: 10, Length: 2, Mode: core.Direct},
+		{ID: 2, Priority: 3, Period: 15, Length: 3, Mode: core.Indirect, Via: []stream.ID{1}},
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Modify()
+	return d
+}
+
+// wellFormed parses the SVG as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestTimingDiagramSVG(t *testing.T) {
+	d := figureDiagram(t)
+	svg := TimingDiagramSVG(d, "Figure <4> & friends", 0)
+	wellFormed(t, svg)
+	for _, want := range []string{"M1", "M2*", "result", "allocated", "&lt;4&gt; &amp;"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// One rect per cell per row (2 elements + result = 3 rows x 30
+	// cols) plus 4 legend swatches.
+	if got := strings.Count(svg, "<rect"); got != 3*30+4 {
+		t.Fatalf("rect count %d, want %d", got, 3*30+4)
+	}
+	// Truncation.
+	short := TimingDiagramSVG(d, "t", 10)
+	if got := strings.Count(short, "<rect"); got != 3*10+4 {
+		t.Fatalf("truncated rect count %d", got)
+	}
+}
+
+func TestMeshHeatmapSVG(t *testing.T) {
+	m := topology.NewMesh2D(3, 2)
+	r := routing.NewXY(m)
+	set := stream.NewSet(m)
+	if _, err := set.Add(r, m.ID(0, 0), m.ID(2, 0), 1, 10, 5, 10); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(set, sim.Config{Cycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	svg := MeshHeatmapSVG(m, res, "heat")
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Fatalf("circle count %d, want 6", got)
+	}
+	// Two used links labelled ~50%.
+	if !strings.Contains(svg, "50%") {
+		t.Fatalf("missing utilisation label:\n%s", svg)
+	}
+	// Links: horizontal 2*2 + vertical 3 = 7 lines.
+	if got := strings.Count(svg, "<line"); got != 7 {
+		t.Fatalf("line count %d, want 7", got)
+	}
+}
+
+func TestGanttSVG(t *testing.T) {
+	rows := []GanttRow{
+		{Label: "0->1", From: 0, To: 5},
+		{Label: "1->2", From: 2, To: -1}, // still open
+	}
+	svg := GanttSVG("worm", rows, 0, 10)
+	wellFormed(t, svg)
+	if strings.Count(svg, "<rect") != 2 {
+		t.Fatalf("rect count:\n%s", svg)
+	}
+	// Degenerate window handled.
+	wellFormed(t, GanttSVG("w", rows, 5, 5))
+}
+
+func TestHeatColorRange(t *testing.T) {
+	if heatColor(0) != "#ffffff" {
+		t.Fatalf("0 -> %s", heatColor(0))
+	}
+	if heatColor(1) != "#c53030" {
+		t.Fatalf("1 -> %s", heatColor(1))
+	}
+	if heatColor(-1) != heatColor(0) || heatColor(2) != heatColor(1) {
+		t.Fatal("clamping broken")
+	}
+}

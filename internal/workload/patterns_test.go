@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func patternCfg(streams, seed int) Config {
+	cfg := PaperDefaults(streams, 4, int64(seed))
+	cfg.InflatePeriods = false
+	return cfg
+}
+
+func TestPatternStrings(t *testing.T) {
+	want := map[Pattern]string{
+		Uniform: "uniform", Transpose: "transpose", BitReversal: "bit-reversal",
+		Hotspot: "hotspot", NearestNeighbor: "nearest-neighbor", Pattern(9): "pattern(9)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d -> %q, want %q", int(p), p.String(), s)
+		}
+	}
+}
+
+func TestTransposePattern(t *testing.T) {
+	set, _, err := GeneratePattern(patternCfg(20, 1), Transpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := set.Topology.(*topology.Mesh2D)
+	for _, s := range set.Streams {
+		sx, sy := m.XY(s.Src)
+		dx, dy := m.XY(s.Dst)
+		if dx != sy || dy != sx {
+			t.Fatalf("stream %d: (%d,%d)->(%d,%d) is not a transpose", s.ID, sx, sy, dx, dy)
+		}
+	}
+	// Non-square mesh rejected.
+	cfg := patternCfg(5, 1)
+	cfg.MeshH = 5
+	if _, _, err := GeneratePattern(cfg, Transpose); err == nil {
+		t.Fatal("accepted transpose on non-square mesh")
+	}
+}
+
+func TestBitReversalPattern(t *testing.T) {
+	set, _, err := GeneratePattern(patternCfg(15, 2), BitReversal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range set.Streams {
+		v, bits := int(s.Src), 0
+		for 1<<bits < 100 {
+			bits++
+		}
+		r := 0
+		for b := 0; b < bits; b++ {
+			r = r<<1 | (v >> b & 1)
+		}
+		if int(s.Dst) != r {
+			t.Fatalf("stream %d: dst %d, want bit-reversed %d", s.ID, s.Dst, r)
+		}
+	}
+}
+
+func TestHotspotPattern(t *testing.T) {
+	set, _, err := GeneratePattern(patternCfg(20, 3), Hotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := set.Get(0).Dst
+	for _, s := range set.Streams {
+		if s.Dst != dst {
+			t.Fatalf("stream %d goes to %d, hotspot is %d", s.ID, s.Dst, dst)
+		}
+	}
+}
+
+func TestNearestNeighborPattern(t *testing.T) {
+	set, _, err := GeneratePattern(patternCfg(20, 4), NearestNeighbor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range set.Streams {
+		if !set.Topology.HasEdge(s.Src, s.Dst) {
+			t.Fatalf("stream %d: %d->%d not adjacent", s.ID, s.Src, s.Dst)
+		}
+		if s.Path.Hops() != 1 {
+			t.Fatalf("stream %d: %d hops", s.ID, s.Path.Hops())
+		}
+	}
+}
+
+func TestUniformPatternMatchesGenerate(t *testing.T) {
+	// The Uniform pattern must be drawn from the same distribution
+	// machinery (identical seed -> identical set as Generate).
+	a, _, err := GeneratePattern(patternCfg(10, 7), Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(patternCfg(10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Streams {
+		if a.Streams[i].Src != b.Streams[i].Src || a.Streams[i].Dst != b.Streams[i].Dst {
+			t.Fatalf("stream %d differs between GeneratePattern(Uniform) and Generate", i)
+		}
+	}
+}
+
+func TestPatternWithInflation(t *testing.T) {
+	cfg := PaperDefaults(20, 2, 5)
+	set, a, err := GeneratePattern(cfg, Hotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range set.Streams {
+		u, err := a.CalUSearchCap(s.ID, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u > s.Period {
+			t.Fatalf("stream %d: U=%d > T=%d after inflation", s.ID, u, s.Period)
+		}
+	}
+}
+
+func TestPatternTooManyStreams(t *testing.T) {
+	// Transpose on a 10x10 can serve at most 90 sources (diagonal
+	// excluded); asking for 95 must fail.
+	cfg := patternCfg(95, 1)
+	if _, _, err := GeneratePattern(cfg, Transpose); err == nil {
+		t.Fatal("accepted more streams than the pattern can place")
+	}
+}

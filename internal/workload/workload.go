@@ -1,0 +1,124 @@
+// Package workload generates the random periodic message-stream sets
+// of the paper's simulation study (§5):
+//
+//   - processing nodes are interconnected in a 10×10 two-dimensional
+//     mesh with X-Y routing;
+//   - each node is the source of at most one message stream, whose
+//     destination is drawn from a spatial uniform distribution;
+//   - the maximum message size C is uniformly distributed (the study
+//     uses [1,40] flits — see DESIGN.md for the OCR reconstruction);
+//   - the minimum inter-generation time T is uniformly distributed
+//     (the study uses [40,90] flit times);
+//   - every stream draws its priority uniformly from the configured
+//     number of priority levels;
+//   - when a stream's computed delay upper bound U exceeds its period,
+//     the period (and deadline) is inflated to U so that all generated
+//     traffic can be accommodated, exactly as the paper does.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// Config parameterises the generator. The zero value is not valid; use
+// PaperDefaults for the paper's setup.
+type Config struct {
+	MeshW, MeshH int
+	Streams      int // number of message streams (<= number of nodes)
+	PLevels      int // number of priority levels
+	CMin, CMax   int // message length range, flits
+	TMin, TMax   int // inter-generation time range, flit times
+	Seed         int64
+	// InflatePeriods applies the paper's rule T_i = max(T_i, U_i).
+	// Disabled only by ablation experiments.
+	InflatePeriods bool
+	// UCap bounds the horizon searched for delay upper bounds during
+	// period inflation; 0 means 65536 flit times (comfortably past the
+	// paper's 30000-flit-time simulations).
+	UCap int
+}
+
+// PaperDefaults returns the §5 configuration for a given stream count
+// and priority-level count.
+func PaperDefaults(streams, plevels int, seed int64) Config {
+	return Config{
+		MeshW: 10, MeshH: 10,
+		Streams: streams, PLevels: plevels,
+		CMin: 1, CMax: 40,
+		TMin: 40, TMax: 90,
+		Seed:           seed,
+		InflatePeriods: true,
+	}
+}
+
+func (c Config) validate() error {
+	if c.MeshW < 2 || c.MeshH < 1 {
+		return fmt.Errorf("workload: invalid mesh %dx%d", c.MeshW, c.MeshH)
+	}
+	if c.Streams < 1 || c.Streams > c.MeshW*c.MeshH {
+		return fmt.Errorf("workload: %d streams on %d nodes", c.Streams, c.MeshW*c.MeshH)
+	}
+	if c.PLevels < 1 {
+		return fmt.Errorf("workload: %d priority levels", c.PLevels)
+	}
+	if c.CMin < 1 || c.CMax < c.CMin {
+		return fmt.Errorf("workload: invalid C range [%d,%d]", c.CMin, c.CMax)
+	}
+	if c.TMin < 1 || c.TMax < c.TMin {
+		return fmt.Errorf("workload: invalid T range [%d,%d]", c.TMin, c.TMax)
+	}
+	return nil
+}
+
+// Generate builds a stream set per the configuration. Sources are
+// distinct nodes (each node sources at most one stream); destinations
+// are uniform over the other nodes. Priorities are uniform over
+// 1..PLevels (larger = more important). When InflatePeriods is set, the
+// paper's period-inflation rule is applied and the returned analyzer
+// reflects the final set.
+func Generate(cfg Config) (*stream.Set, *core.Analyzer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := topology.NewMesh2D(cfg.MeshW, cfg.MeshH)
+	router := routing.NewXY(m)
+	set := stream.NewSet(m)
+
+	// Distinct sources: a random permutation of the nodes.
+	perm := rng.Perm(m.Nodes())
+	for i := 0; i < cfg.Streams; i++ {
+		src := topology.NodeID(perm[i])
+		dst := src
+		for dst == src {
+			dst = topology.NodeID(rng.Intn(m.Nodes()))
+		}
+		prio := 1 + rng.Intn(cfg.PLevels)
+		period := cfg.TMin + rng.Intn(cfg.TMax-cfg.TMin+1)
+		length := cfg.CMin + rng.Intn(cfg.CMax-cfg.CMin+1)
+		if _, err := set.Add(router, src, dst, prio, period, length, period); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	a, err := core.NewAnalyzer(set)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cfg.InflatePeriods {
+		return set, a, nil
+	}
+	// The paper's accommodation rule: if U_i > T_i, raise T_i (and the
+	// deadline) to U_i. Raising periods only lowers interference, so a
+	// bound computed against the heavier pre-inflation demand remains
+	// valid; a few passes reach a fixpoint. Streams saturated past the
+	// search cap have their periods quadrupled instead, turning them
+	// into sporadic background traffic.
+	return inflatePeriods(set, a, cfg)
+}
