@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench reproduce quick-reproduce fuzz cover clean
+.PHONY: all build test test-race vet lint bench reproduce quick-reproduce fuzz cover clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Formatting drift, the standard vet passes, and the repo's own
+# analyzers (see docs/LINTING.md). Any of the three failing fails CI.
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/rtwlint ./...
+
 test:
 	$(GO) test ./...
+
+# The full suite under the race detector; the parallel Cal_U pool and
+# the simulator are the concurrency-bearing packages this protects.
+test-race:
+	$(GO) test -race ./...
 
 # Regenerate every table and figure as benchmarks (writes nothing).
 bench:

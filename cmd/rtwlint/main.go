@@ -1,0 +1,125 @@
+// Command rtwlint runs the repository's domain-specific analyzers (see
+// internal/lint and docs/LINTING.md) over the packages matching the
+// given patterns:
+//
+//	rtwlint [-list] [-only name,name] [packages...]
+//
+// With no patterns it checks ./.... It prints findings one per line as
+//
+//	path/file.go:line:col: message (analyzer)
+//
+// and exits 1 when any finding survives suppression, 2 on usage or
+// load errors, 0 on a clean run. It complements `go vet` (run both; see
+// `make lint`): vet covers the generic mistakes, rtwlint the invariants
+// of the paper's analysis pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtwlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: rtwlint [-list] [-only name,name] [packages...]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		selected, err := selectAnalyzers(analyzers, *only)
+		if err != nil {
+			fmt.Fprintln(stderr, "rtwlint:", err)
+			return 2
+		}
+		analyzers = selected
+	}
+
+	pkgs, err := loader.Load("", fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "rtwlint:", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "rtwlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n",
+				relPath(pos.Filename), pos.Line, pos.Column, d.Message, d.Analyzer)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "rtwlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves a comma-separated -only list.
+func selectAnalyzers(all []*analysis.Analyzer, names string) ([]*analysis.Analyzer, error) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// relPath shortens absolute file names to be relative to the working
+// directory, keeping output stable across checkouts.
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}

@@ -123,6 +123,7 @@ func BuildHPSets(set *stream.Set) []HPSet {
 				if d == sj.ID {
 					continue
 				}
+				//rtwlint:ignore detrand monotone fixpoint over set unions; the final hp sets are order-independent
 				for eid, ee := range hp[d] {
 					if eid == sj.ID || eid == d {
 						continue
@@ -144,6 +145,7 @@ func BuildHPSets(set *stream.Set) []HPSet {
 					if ee.mode == Direct {
 						contrib = []stream.ID{d}
 					} else {
+						//rtwlint:ignore detrand contrib only feeds the cur.via set union; order-independent
 						for v := range ee.via {
 							if v != sj.ID {
 								contrib = append(contrib, v)

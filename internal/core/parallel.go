@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stream"
 )
@@ -18,6 +20,30 @@ func DetermineFeasibilityParallel(set *stream.Set, workers int) (*Report, error)
 	if err != nil {
 		return nil, err
 	}
+	return parallelFeasibility(set, workers, a.CalU)
+}
+
+// streamErr pairs a failed stream with its error so the propagated
+// error is deterministic regardless of worker scheduling.
+type streamErr struct {
+	id  stream.ID
+	err error
+}
+
+// parallelFeasibility runs calU over every stream of the set from a
+// pool of workers. It is the seam DetermineFeasibilityParallel is
+// built on; tests inject failing calU implementations to pin the
+// error-path semantics:
+//
+//   - any calU error makes the whole call return (nil, error) — a
+//     partially-filled report never escapes, so unprocessed zero-valued
+//     verdicts can never masquerade as "infeasible";
+//   - after the first failure the remaining jobs are skipped rather
+//     than computed (their verdicts would be discarded anyway);
+//   - among the failures actually observed, the smallest stream ID's
+//     error is propagated, so a single failing stream (the common
+//     case) reports identically for every worker count and schedule.
+func parallelFeasibility(set *stream.Set, workers int, calU func(stream.ID) (int, error)) (*Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -25,23 +51,28 @@ func DetermineFeasibilityParallel(set *stream.Set, workers int) (*Report, error)
 		workers = set.Len()
 	}
 	rep := &Report{Feasible: true, Verdicts: make([]Verdict, set.Len())}
-	// Buffered so the producer never blocks even if workers bail out on
-	// an error.
+	// Buffered so the producer never blocks even if workers bail out
+	// early.
 	jobs := make(chan stream.ID, set.Len())
-	errs := make(chan error, workers)
+	errs := make(chan streamErr, set.Len())
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for id := range jobs {
-				u, err := a.CalU(id)
+				if failed.Load() {
+					continue // drain: the report is already doomed
+				}
+				u, err := calU(id)
 				if err != nil {
-					errs <- err
-					return
+					failed.Store(true)
+					errs <- streamErr{id, err}
+					continue
 				}
 				s := set.Get(id)
-				// Verdict slots are disjoint per worker; no lock needed.
+				//rtwlint:ignore unsyncshared verdict slots are disjoint per stream ID; wg.Wait orders the reads
 				rep.Verdicts[id] = Verdict{
 					ID: id, U: u, Deadline: s.Deadline,
 					Feasible: u >= 0 && u <= s.Deadline,
@@ -54,10 +85,16 @@ func DetermineFeasibilityParallel(set *stream.Set, workers int) (*Report, error)
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, fmt.Errorf("core: parallel feasibility: %w", err)
-	default:
+	close(errs)
+	// The error check must precede the verdict scan: once any stream
+	// failed, zero-valued verdicts of skipped streams carry no meaning.
+	var fails []streamErr
+	for e := range errs {
+		fails = append(fails, e)
+	}
+	if len(fails) > 0 {
+		sort.Slice(fails, func(i, j int) bool { return fails[i].id < fails[j].id })
+		return nil, fmt.Errorf("core: parallel feasibility: stream %d: %w", fails[0].id, fails[0].err)
 	}
 	for _, v := range rep.Verdicts {
 		if !v.Feasible {

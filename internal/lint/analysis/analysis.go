@@ -1,0 +1,189 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis model, just large enough to host
+// the rtwlint analyzers. The container this repository builds in has no
+// network access and no module cache, so the real x/tools packages are
+// unavailable; the API below mirrors theirs (Analyzer, Pass, Diagnostic)
+// so the analyzers port over verbatim if x/tools ever becomes
+// available.
+//
+// On top of the x/tools model it adds one repo-specific feature:
+// suppression directives. A comment of the form
+//
+//	//rtwlint:ignore <analyzer> <reason>
+//
+// on the flagged line, or on the line immediately above it, suppresses
+// that analyzer's diagnostics for the flagged line. The reason is
+// mandatory: an unjustified suppression is itself malformed and is
+// reported by the `directive` analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rtwlint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description shown by `rtwlint -list`.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report / pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass holds the inputs the framework hands an analyzer for one
+// package, mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives every diagnostic, after suppression filtering.
+	report func(Diagnostic)
+	// suppressed knows the //rtwlint:ignore directives of the package.
+	suppressed func(name string, pos token.Pos) bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Report emits a diagnostic unless a directive suppresses it.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.Analyzer.Name
+	}
+	if p.suppressed != nil && p.suppressed(d.Analyzer, d.Pos) {
+		return
+	}
+	p.report(d)
+}
+
+// Reportf is Report with fmt.Sprintf formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// IgnorePrefix starts a suppression directive comment.
+const IgnorePrefix = "//rtwlint:ignore"
+
+// Directive is one parsed //rtwlint:ignore comment.
+type Directive struct {
+	Pos      token.Pos
+	File     string
+	Line     int    // line the directive is written on
+	Analyzer string // analyzer name being suppressed ("" if malformed)
+	Reason   string // justification ("" if missing)
+}
+
+// Directives extracts every //rtwlint:ignore comment of the package,
+// including malformed ones (empty Analyzer or Reason), so the
+// `directive` analyzer can validate them.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //rtwlint:ignorex — not ours
+				}
+				pos := fset.Position(c.Pos())
+				d := Directive{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.Analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// suppressor builds the suppression predicate for one package: a
+// well-formed directive for analyzer A on line N suppresses A's
+// diagnostics on lines N and N+1 of the same file.
+func suppressor(fset *token.FileSet, files []*ast.File) func(name string, pos token.Pos) bool {
+	type key struct {
+		file string
+		name string
+		line int
+	}
+	index := map[key]bool{}
+	for _, d := range Directives(fset, files) {
+		if d.Analyzer == "" || d.Reason == "" {
+			continue // malformed: never suppresses
+		}
+		index[key{d.File, d.Analyzer, d.Line}] = true
+		index[key{d.File, d.Analyzer, d.Line + 1}] = true
+	}
+	return func(name string, pos token.Pos) bool {
+		if len(index) == 0 || !pos.IsValid() {
+			return false
+		}
+		p := fset.Position(pos)
+		return index[key{p.Filename, name, p.Line}]
+	}
+}
+
+// Run applies every analyzer to the package and returns the surviving
+// diagnostics sorted by position. An analyzer returning an error aborts
+// the run.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	sup := suppressor(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Pkg,
+			TypesInfo:  pkg.Info,
+			report:     func(d Diagnostic) { diags = append(diags, d) },
+			suppressed: sup,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// IsTestFile reports whether the file the position belongs to is a
+// _test.go file. The analyzers skip test files: exact golden values and
+// deliberately hostile inputs are legitimate there, and the race
+// detector — not a linter — is the tool that guards test code.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+)
+
+func TestDetrand(t *testing.T) {
+	// Loaded under internal/sim so the scope rule applies.
+	analysistest.Run(t, Detrand, "testdata/src/detrand", "repro/internal/sim/lintfix")
+}
+
+// TestDetrandScope: the same violations produce no findings outside the
+// scoped packages (internal/sim, internal/exp, internal/core).
+func TestDetrandScope(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata/src/detrand", "repro/internal/viz/lintfix")
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{Detrand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("detrand fired outside its package scope: %+v", diags)
+	}
+}
+
+func TestDetrandScopeRule(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/sim":         true,
+		"repro/internal/sim/lintfix": true,
+		"repro/internal/exp":         true,
+		"repro/internal/core":        true,
+		"internal/core":              true,
+		"repro/internal/viz":         false,
+		"repro/cmd/rtworm":           false,
+		"repro/internal/simulator":   false, // prefix of a segment is not a match
+	} {
+		if got := inDetrandScope(path); got != want {
+			t.Errorf("inDetrandScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+)
+
+// Directive validates the suppression mechanism itself: every
+// //rtwlint:ignore comment must name a known analyzer and carry a
+// justification. Malformed directives never suppress anything (the
+// framework ignores them), so without this check a typo like
+// `//rtwlint:ignore floateqq` would silently leave the finding
+// unsuppressed in one build and the directive unexplained forever.
+var Directive = &analysis.Analyzer{
+	Name: "directive",
+	Doc:  "validates //rtwlint:ignore suppression directives",
+	Run:  runDirective,
+}
+
+// knownAnalyzers is computed lazily (not from Analyzers() at init) to
+// avoid an initialization cycle: the registry contains Directive.
+func knownAnalyzers() map[string]bool {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+func runDirective(pass *analysis.Pass) error {
+	known := knownAnalyzers()
+	for _, d := range analysis.Directives(pass.Fset, pass.Files) {
+		switch {
+		case d.Analyzer == "":
+			pass.Reportf(d.Pos,
+				"malformed rtwlint directive: missing analyzer name (want //rtwlint:ignore <analyzer> <reason>)")
+		case !known[d.Analyzer]:
+			pass.Reportf(d.Pos,
+				"rtwlint directive names unknown analyzer %q", d.Analyzer)
+		case d.Reason == "":
+			pass.Reportf(d.Pos,
+				"rtwlint directive suppressing %q has no justification; say why the finding is safe", d.Analyzer)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Errdrop flags discarded error returns from this module's own
+// functions — stricter than go vet in two ways: it catches plain
+// call statements (`set.Validate(t)`) and explicit blank discards
+// (`_ = rec.Flush()`, `u, _ := a.CalU(id)`), and it is scoped to
+// repro/... so noisy stdlib idioms (fmt.Fprintf to a strings.Builder,
+// deferred Close) stay out of the way. Every error produced by the
+// analysis pipeline is a correctness signal — CalU failing means the
+// bound is missing, not zero — so dropping one must be an explicit,
+// justified decision (//rtwlint:ignore errdrop <reason>).
+var Errdrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error results of in-module (repro/...) functions",
+	Run:  runErrdrop,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrdrop(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				checkDroppedCall(pass, s.X, "")
+			case *ast.GoStmt:
+				checkDroppedCall(pass, s.Call, "go ")
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, s.Call, "defer ")
+			case *ast.AssignStmt:
+				checkBlankedError(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedCall flags `f(...)` as a statement when f is in-module
+// and returns an error among its results.
+func checkDroppedCall(pass *analysis.Pass, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, sig := inModuleCallee(pass, call)
+	if sig == nil {
+		return
+	}
+	if pos := errorResult(sig); pos >= 0 {
+		pass.Reportf(call.Pos(),
+			"%s%s returns an error that is discarded; handle it or justify with //rtwlint:ignore errdrop <reason>",
+			how, name)
+	}
+}
+
+// checkBlankedError flags assignments that ship an in-module error into
+// the blank identifier: `_ = f()` and `v, _ := g()`.
+func checkBlankedError(pass *analysis.Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return // x, _ = a, b: plain value discard, not an error drop
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, sig := inModuleCallee(pass, call)
+	if sig == nil {
+		return
+	}
+	pos := errorResult(sig)
+	if pos < 0 {
+		return
+	}
+	// Single-result call assigned to one LHS, or tuple spread over the
+	// LHS list: the error lands at index pos.
+	idx := pos
+	if sig.Results().Len() == 1 {
+		idx = 0
+	}
+	if idx >= len(s.Lhs) {
+		return
+	}
+	if id, ok := s.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(id.Pos(),
+			"error result of %s discarded into _; handle it or justify with //rtwlint:ignore errdrop <reason>",
+			name)
+	}
+}
+
+// inModuleCallee resolves the called function; it returns a display
+// name and the signature when the callee belongs to this module, and a
+// nil signature otherwise.
+func inModuleCallee(pass *analysis.Pass, call *ast.CallExpr) (string, *types.Signature) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return "", nil
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return "", nil // builtin, or not resolvable
+	}
+	if !samePathRoot(obj.Pkg().Path(), pass.Pkg.Path()) {
+		return "", nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return "", nil // conversion or non-func object
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		name = fn.Name()
+		if recv := sig.Recv(); recv != nil {
+			name = types.TypeString(recv.Type(), types.RelativeTo(pass.Pkg)) + "." + name
+		}
+	}
+	return name, sig
+}
+
+// errorResult returns the index of the first error in the signature's
+// results, or -1.
+func errorResult(sig *types.Signature) int {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return i
+		}
+	}
+	return -1
+}
+
+// samePathRoot reports whether two import paths share their first
+// segment — the module-locality test ("repro/internal/core" and
+// "repro/internal/sim" match; "fmt" does not).
+func samePathRoot(a, b string) bool {
+	return firstSegment(a) == firstSegment(b)
+}
+
+func firstSegment(p string) string {
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, Errdrop, "testdata/src/errdrop", "repro/internal/lintfix/errdrop")
+}

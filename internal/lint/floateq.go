@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Floateq flags == and != between floating-point operands. The paper's
+// delay bounds are exact integer flit times; wherever the codebase
+// leaves integers (utilisation ratios, mean latencies, sweep targets) a
+// float equality is almost certainly a rounding bug waiting to happen —
+// compare against an epsilon, or keep the quantity in integer flit
+// times. Comparisons folded by the compiler (both operands constant)
+// are exempt; `x != x` NaN probes are not, use math.IsNaN.
+var Floateq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= comparisons of floating-point timing quantities",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x := pass.TypesInfo.Types[be.X]
+			y := pass.TypesInfo.Types[be.Y]
+			if x.Value != nil && y.Value != nil {
+				return true // constant-folded, exact by definition
+			}
+			if isFloat(x.Type) || isFloat(y.Type) {
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison (%s); compare with an epsilon or use integer flit times",
+					be.Op, types.TypeString(x.Type, types.RelativeTo(pass.Pkg)))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, Floateq, "testdata/src/floateq", "repro/internal/lintfix/floateq")
+}

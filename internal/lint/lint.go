@@ -1,0 +1,48 @@
+// Package lint hosts the rtwlint analyzers: domain-specific correctness
+// checks for this wormhole-switching analysis codebase. Each analyzer
+// guards an invariant the paper's algorithm (HP sets → BDG → timing
+// diagrams → Cal_U) or its evaluation harness depends on:
+//
+//   - unsyncshared: goroutine fan-out must not write captured shared
+//     state without a mutex, a channel, or an explicit disjoint-index
+//     justification (the contract internal/core/parallel.go relies on).
+//   - floateq: timing quantities must never be compared with == / != in
+//     floating point; bounds are integer flit times, statistics need an
+//     epsilon.
+//   - detrand: the simulator and experiment harnesses must be
+//     reproducible — no wall clock, no unseeded global randomness, no
+//     map-iteration-order-dependent output.
+//   - errdrop: error returns from this module's own functions must not
+//     be silently discarded (stricter than go vet, scoped to repro/...).
+//   - directive: every //rtwlint:ignore suppression must name a known
+//     analyzer and carry a justification.
+//
+// See docs/LINTING.md for the full rationale and suppression rules.
+package lint
+
+import (
+	"slices"
+
+	"repro/internal/lint/analysis"
+)
+
+// registry is filled by init rather than a composite-literal
+// initializer: Directive's Run consults the registry to validate
+// directive names, and a static initializer would be a declared
+// initialization cycle.
+var registry []*analysis.Analyzer
+
+func init() {
+	registry = []*analysis.Analyzer{
+		Detrand,
+		Directive,
+		Errdrop,
+		Floateq,
+		Unsyncshared,
+	}
+}
+
+// Analyzers returns the full rtwlint suite in deterministic order.
+func Analyzers() []*analysis.Analyzer {
+	return slices.Clone(registry)
+}

@@ -1,0 +1,222 @@
+// Package loader loads and type-checks the packages of this module so
+// the rtwlint analyzers can run over them. It is a small, offline
+// stand-in for golang.org/x/tools/go/packages: package metadata comes
+// from `go list -json` (which works without network access), module
+// packages are parsed and type-checked here in dependency order, and
+// standard-library imports are satisfied by the compiler's source
+// importer so no pre-built export data is required.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Standard   bool
+}
+
+// Load lists the packages matching the patterns (relative to dir, "" =
+// current directory), type-checks them together with their in-module
+// dependencies, and returns the matched packages in deterministic
+// (import-path) order.
+func Load(dir string, patterns ...string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	roots, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	all, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	byPath := map[string]*listPackage{}
+	for _, p := range all {
+		if !p.Standard {
+			byPath[p.ImportPath] = p
+		}
+	}
+
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	checked := map[string]*analysis.Package{}
+	imp := &moduleImporter{std: std, module: byPath, checked: checked, fset: fset}
+
+	// Type-check every in-module package in dependency order.
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := imp.check(p); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]*analysis.Package, 0, len(roots))
+	seen := map[string]bool{}
+	for _, r := range roots {
+		if r.Standard || seen[r.ImportPath] {
+			continue
+		}
+		seen[r.ImportPath] = true
+		pkg, ok := checked[r.ImportPath]
+		if !ok {
+			return nil, fmt.Errorf("loader: %s listed but not loaded", r.ImportPath)
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// goList shells out to `go list -json` (with -deps when deps is true)
+// and decodes the stream of package objects.
+func goList(dir string, patterns []string, deps bool) ([]*listPackage, error) {
+	args := []string{"list", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var out []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// moduleImporter satisfies types.Importer: standard-library paths go to
+// the source importer, module paths are type-checked (once) from the
+// metadata `go list -deps` provided.
+type moduleImporter struct {
+	std     types.Importer
+	module  map[string]*listPackage
+	checked map[string]*analysis.Package
+	fset    *token.FileSet
+	// checking guards against import cycles (go list would have
+	// rejected them already; this is defense in depth).
+	checking map[string]bool
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if _, ok := m.module[path]; ok {
+		pkg, err := m.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return m.std.Import(path)
+}
+
+// check type-checks the module package at path, memoized.
+func (m *moduleImporter) check(path string) (*analysis.Package, error) {
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	meta := m.module[path]
+	if meta == nil {
+		return nil, fmt.Errorf("loader: no metadata for %s", path)
+	}
+	if len(meta.CgoFiles) > 0 {
+		return nil, fmt.Errorf("loader: %s uses cgo, unsupported", path)
+	}
+	if m.checking == nil {
+		m.checking = map[string]bool{}
+	}
+	if m.checking[path] {
+		return nil, fmt.Errorf("loader: import cycle through %s", path)
+	}
+	m.checking[path] = true
+	defer delete(m.checking, path)
+
+	pkg, err := CheckFiles(m.fset, path, meta.Dir, meta.GoFiles, m)
+	if err != nil {
+		return nil, err
+	}
+	m.checked[path] = pkg
+	return pkg, nil
+}
+
+// CheckFiles parses the named files (relative to dir) and type-checks
+// them as one package with the given importer. It is shared by the
+// module loader above and by the analysistest fixture harness.
+func CheckFiles(fset *token.FileSet, path, dir string, names []string, imp types.Importer) (*analysis.Package, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &analysis.Package{
+		Path:  path,
+		Name:  name,
+		Fset:  fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}, nil
+}
+
+// StdImporter returns a fresh source importer over fset, for callers
+// (the fixture harness) that type-check standalone files.
+func StdImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}

@@ -1,0 +1,14 @@
+// Fixture for the directive analyzer: the suppression mechanism must
+// itself be well-formed. The want expectations use block comments
+// because the line comments here are the things under test.
+package directive
+
+/* want `missing analyzer name` */ //rtwlint:ignore
+
+/* want `unknown analyzer "floateqq"` */ //rtwlint:ignore floateqq the analyzer name has a typo
+
+/* want `has no justification` */ //rtwlint:ignore floateq
+
+//rtwlint:ignore floateq exact comparison of a power-of-two constant is safe
+
+func ok() {}

@@ -1,0 +1,47 @@
+// Fixture for the errdrop analyzer. The harness loads this package
+// under a repro/... import path, so its own functions count as
+// in-module callees.
+package errdrop
+
+import "fmt"
+
+// calU stands in for the analyzer pipeline: the error is a correctness
+// signal, not a nuisance.
+func calU(id int) (int, error) {
+	if id < 0 {
+		return 0, fmt.Errorf("no stream %d", id)
+	}
+	return id * 2, nil
+}
+
+func validate() error { return nil }
+
+type recorder struct{}
+
+func (recorder) Flush() error { return nil }
+
+func drops(r recorder) int {
+	validate()      // want `validate returns an error that is discarded`
+	calU(3)         // want `calU returns an error that is discarded`
+	_ = validate()  // want `error result of validate discarded into _`
+	u, _ := calU(4) // want `error result of calU discarded into _`
+	defer r.Flush() // want `defer recorder.Flush returns an error that is discarded`
+	go validate()   // want `go validate returns an error that is discarded`
+	return u
+}
+
+func handled(r recorder) (int, error) {
+	if err := validate(); err != nil {
+		return 0, err
+	}
+	u, err := calU(4)
+	if err != nil {
+		return 0, err
+	}
+	// Out-of-module callees are vet's business, not ours: fmt.Println
+	// returns (int, error) and stays quiet here.
+	fmt.Println(u)
+	//rtwlint:ignore errdrop flush failure only loses a diagnostic artifact
+	_ = r.Flush()
+	return u, nil
+}

@@ -1,0 +1,30 @@
+// Fixture for the floateq analyzer: float equality in every spelling
+// it must catch, next to the integer and constant cases it must not.
+package floateq
+
+// U mimics the analyzer's delay upper bound when it leaks into floats.
+type U float64
+
+func compare(a, b float64, u U, flits int) {
+	if a == b { // want `floating-point == comparison`
+		return
+	}
+	_ = a != b    // want `floating-point != comparison`
+	_ = a != a    // want `floating-point != comparison`
+	_ = u == U(b) // want `floating-point == comparison`
+
+	// Integer flit times compare exactly: no findings.
+	_ = flits == 3
+	_ = flits != 0
+
+	// Both operands constant: folded at compile time, exempt.
+	const half, alsoHalf = 0.5, 0.5
+	_ = half == alsoHalf
+
+	// Ordered comparisons are fine; only ==/!= are flagged.
+	_ = a < b
+	_ = u >= 0
+
+	//rtwlint:ignore floateq demonstrating an explicitly justified exact comparison
+	_ = a == b
+}

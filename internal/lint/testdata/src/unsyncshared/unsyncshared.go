@@ -1,0 +1,78 @@
+// Fixture for the unsyncshared analyzer: goroutine literals writing
+// captured state with and without synchronisation.
+package unsyncshared
+
+import "sync"
+
+var hits int
+
+func bad(n int) []int {
+	out := make([]int, n)
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++    // want `write to captured variable "total" inside go func literal`
+			out[i] = i // want `write to captured variable "out" inside go func literal`
+			hits = 1   // want `write to package-level variable "hits" inside go func literal`
+		}()
+	}
+	wg.Wait()
+	_ = total
+	return out
+}
+
+func guarded(n int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++ // guarded by the captured mutex: no finding
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func local(results chan<- int) {
+	go func() {
+		// Goroutine-local state and channel sends are always fine.
+		acc := 0
+		for i := 0; i < 8; i++ {
+			acc += i
+		}
+		results <- acc
+	}()
+}
+
+func justified(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			//rtwlint:ignore unsyncshared each goroutine writes its own disjoint slot
+			out[slot] = slot
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func nested() {
+	shared := 0
+	go func() {
+		go func() {
+			shared++ // want `write to captured variable "shared" inside go func literal`
+		}()
+	}()
+	_ = shared
+}

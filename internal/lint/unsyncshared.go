@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Unsyncshared flags writes to captured variables inside `go func`
+// literals. The parallel Cal_U fan-out writes disjoint slots of a
+// shared Verdicts slice from every worker — correct, but only because
+// of an invariant (per-stream slots are disjoint) the compiler cannot
+// see. This analyzer makes that class of code justify itself: a write
+// to state captured from outside the goroutine must either happen
+// under a mutex taken inside the goroutine, or carry an explicit
+//
+//	//rtwlint:ignore unsyncshared <why the access is safe>
+//
+// directive. Channel sends and goroutine-local state are always fine.
+// Mutation through method calls on captured values (wg.Done, list
+// appends behind a method) is out of reach without escape analysis;
+// `make test-race` covers that remainder.
+var Unsyncshared = &analysis.Analyzer{
+	Name: "unsyncshared",
+	Doc:  "flags unsynchronised writes to captured variables in go-routine literals",
+	Run:  runUnsyncshared,
+}
+
+func runUnsyncshared(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				checkGoroutineBody(pass, lit)
+			}
+			// go f(args): everything crosses by value — nothing to do,
+			// but keep walking for nested goroutines either way.
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineBody reports unguarded writes to variables captured
+// from outside the goroutine literal. Nested closures run on the same
+// goroutine, so they are walked with the same capture boundary; nested
+// `go` literals start their own goroutine and are handled by the
+// file-level walk with their own boundary.
+func checkGoroutineBody(pass *analysis.Pass, lit *ast.FuncLit) {
+	if locksCaptured(pass, lit) {
+		// The goroutine takes a captured lock; assume its writes are
+		// the ones that lock protects. Coarse, but the race detector
+		// (make test-race) covers what slips through.
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			if _, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				return false // its own goroutine, its own boundary
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				reportCapturedWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportCapturedWrite(pass, lit, s.X)
+		}
+		return true
+	})
+}
+
+// reportCapturedWrite flags lhs if its root variable is declared
+// outside the goroutine literal.
+func reportCapturedWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		// A Defs hit instead means `:=` introduced it right here:
+		// goroutine-local by construction.
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+		return // declared (or a parameter) inside the goroutine
+	}
+	what := "captured variable"
+	if v.Parent() == pass.Pkg.Scope() {
+		what = "package-level variable"
+	}
+	pass.Reportf(lhs.Pos(),
+		"write to %s %q inside go func literal without synchronisation; guard it with a mutex/channel or justify with //rtwlint:ignore unsyncshared <reason>",
+		what, id.Name)
+}
+
+// locksCaptured reports whether the literal body calls Lock/RLock on a
+// variable captured from outside it (a shared sync.Mutex / RWMutex or
+// anything implementing sync.Locker).
+func locksCaptured(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		id := rootIdent(sel.X)
+		if id == nil {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if ok && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdent unwraps selectors, indexing, derefs and parens down to the
+// base identifier of an lvalue: rep.Verdicts[id] -> rep.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

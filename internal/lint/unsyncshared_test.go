@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestUnsyncshared(t *testing.T) {
+	analysistest.Run(t, Unsyncshared, "testdata/src/unsyncshared", "repro/internal/lintfix/unsyncshared")
+}

@@ -276,9 +276,11 @@ func AnnealOn(p Problem, t topology.Topology, r routing.Router, init Assignment,
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 4000
 	}
+	//rtwlint:ignore floateq zero value means "unset"; only an untouched field compares equal
 	if cfg.StartTemp == 0 {
 		cfg.StartTemp = 1.0
 	}
+	//rtwlint:ignore floateq zero value means "unset"; only an untouched field compares equal
 	if cfg.EndTemp == 0 {
 		cfg.EndTemp = 0.01
 	}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// renderRun executes one simulation with the given jitter seed and
+// returns every textual surface of the run concatenated: the full
+// event trace, the result summary, per-stream statistics, per-channel
+// statistics (sorted) and the mesh heatmap. Byte-identical output is
+// the determinism contract the detrand analyzer protects — the paper's
+// figures must be a pure function of the configured seed.
+func renderRun(t *testing.T, m *topology.Mesh2D, specs [][6]int, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	set := mustSet(t, m, specs)
+	s, err := New(set, Config{
+		Cycles:         4000,
+		Warmup:         200,
+		SporadicJitter: 9,
+		JitterSeed:     seed,
+		Tracer:         &trace.TextSink{W: &buf},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+
+	fmt.Fprintln(&buf, res.String())
+	for i := range res.PerStream {
+		st := &res.PerStream[i]
+		fmt.Fprintf(&buf, "stream %d: gen=%d del=%d obs=%d sum=%d min=%d max=%d miss=%d %s\n",
+			st.ID, st.Generated, st.Delivered, st.Observed, st.SumLatency,
+			st.MinLatency, st.MaxLatency, st.Misses, st.Latencies.String())
+	}
+	chans := make([]topology.Channel, 0, len(res.PerChannel))
+	for ch := range res.PerChannel {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool {
+		if chans[i].From != chans[j].From {
+			return chans[i].From < chans[j].From
+		}
+		return chans[i].To < chans[j].To
+	})
+	for _, ch := range chans {
+		fmt.Fprintf(&buf, "channel %v: %+v\n", ch, res.PerChannel[ch])
+	}
+	buf.WriteString(MeshHeatmap(m, res))
+	return buf.Bytes()
+}
+
+// TestDeterminismByteIdentical: two simulations with the same seed must
+// produce byte-identical stats and trace output, even with sporadic
+// jitter enabled (the only randomness in the simulator).
+func TestDeterminismByteIdentical(t *testing.T) {
+	m := topology.NewMesh2D(5, 5)
+	rng := rand.New(rand.NewSource(23))
+	var specs [][6]int
+	for i := 0; i < 10; i++ {
+		src := rng.Intn(25)
+		dst := rng.Intn(25)
+		if src == dst {
+			dst = (dst + 1) % 25
+		}
+		specs = append(specs, [6]int{src, dst, 1 + rng.Intn(4), 50 + rng.Intn(60), 1 + rng.Intn(8), 0})
+	}
+
+	a := renderRun(t, m, specs, 77)
+	b := renderRun(t, m, specs, 77)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different output: %d vs %d bytes\nfirst divergence at byte %d",
+			len(a), len(b), firstDiff(a, b))
+	}
+
+	// Sanity: the seed actually reaches the jitter source — a
+	// different seed must move at least one release in 4000 cycles.
+	c := renderRun(t, m, specs, 78)
+	if bytes.Equal(a, c) {
+		t.Fatal("different jitter seeds produced identical traces; is the seed wired through?")
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -168,6 +168,7 @@ func (r *Result) ByPriority(set *stream.Set) []LevelStats {
 // observed during the run.
 func (r *Result) MaxChannelUtilization() float64 {
 	max := 0.0
+	//rtwlint:ignore detrand max reduction; the result is the same in any iteration order
 	for _, cs := range r.PerChannel {
 		if u := cs.Utilization(r.Cycles); u > max {
 			max = u
