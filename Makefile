@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench reproduce quick-reproduce fuzz cover clean
+.PHONY: all build test test-race vet lint bench bench-json reproduce quick-reproduce fuzz cover clean
 
 all: build vet lint test
 
@@ -33,6 +33,14 @@ test-race:
 # Regenerate every table and figure as benchmarks (writes nothing).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot: the five paper tables plus the
+# core-engine micro-benchmarks, one iteration each with -benchmem,
+# converted to JSON at the repo root (committed; see
+# docs/PERFORMANCE.md for the tracked numbers and how to compare).
+bench-json:
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable[1-5]|BenchmarkCalU|BenchmarkHPSetConstruction|BenchmarkSimulator)$$' \
+		-benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_core.json
 
 # Full paper reproduction into out/ (tables, figures+SVG, sweeps,
 # crosscheck, summary).

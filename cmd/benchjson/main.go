@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark results can be committed,
+// diffed and consumed by scripts without re-parsing the bench text
+// format everywhere.
+//
+//	go test -run '^$' -bench 'Table|CalU' -benchmem . | go run ./cmd/benchjson -o BENCH_core.json
+//
+// The parser understands the standard benchmark line —
+//
+//	BenchmarkTable1-8    1    118800000 ns/op    1234 B/op    89256 allocs/op
+//
+// — including any custom metrics reported with b.ReportMetric (the
+// table benchmarks attach top-ratio and bottom-ratio). Context lines
+// (goos/goarch/pkg/cpu) are carried into the enclosing document and,
+// for pkg, onto each benchmark. Non-benchmark lines (PASS, ok, logs)
+// are ignored. Exit status is 1 if no benchmark line was found, so a
+// silently empty run fails loudly in CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in.
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is the GOMAXPROCS suffix (0 if none was printed).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N for the measured run.
+	Iterations int `json:"iterations"`
+	// Metrics maps unit → value: ns/op, B/op, allocs/op, plus any
+	// custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input")
+	}
+	return doc, nil
+}
+
+// parseBenchLine parses one "BenchmarkX-P  N  v unit  v unit ..."
+// line. It returns ok=false for lines that merely start with the word
+// Benchmark (such as a benchmark's own log output).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one value-unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = n
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 3.00GHz
+BenchmarkTable1-8   	       1	118800000 ns/op	 123456 B/op	   89256 allocs/op	  0.9123 top-ratio	  0.4456 bottom-ratio
+BenchmarkTable1-8: logs that start with the benchmark name must not parse
+BenchmarkCalU-8   	   76214	     15009 ns/op	    2048 B/op	      26 allocs/op
+pkg: repro/internal/core
+BenchmarkOther   	     100	    500000 ns/op
+PASS
+ok  	repro	21.1s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.CPU != "Example CPU @ 3.00GHz" {
+		t.Fatalf("context = %q/%q/%q", doc.GOOS, doc.GOARCH, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkTable1" || b.Procs != 8 || b.Iterations != 1 || b.Pkg != "repro" {
+		t.Fatalf("benchmark[0] = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 118800000, "B/op": 123456, "allocs/op": 89256,
+		"top-ratio": 0.9123, "bottom-ratio": 0.4456,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metrics[%q] = %v, want %v", unit, got, want)
+		}
+	}
+	// A benchmark without -P suffix and under a later pkg header.
+	b = doc.Benchmarks[2]
+	if b.Name != "BenchmarkOther" || b.Procs != 0 || b.Pkg != "repro/internal/core" {
+		t.Fatalf("benchmark[2] = %+v", b)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok \trepro\t0.1s\n")); err == nil {
+		t.Fatal("empty bench output should be an error")
+	}
+}

@@ -83,25 +83,17 @@ func (a *Analyzer) InitialDiagram(id stream.ID, horizon int) (*Diagram, error) {
 // CalU computes the delay upper bound of the given stream with the
 // deadline as horizon (the paper's Cal_U). It returns -1 when the bound
 // does not exist within the deadline (the stream is infeasible).
+//
+// CalU, CalUHorizon, CalUSearch and CalUSearchCap are one-shot
+// conveniences over a throwaway Calc; batch callers should hold a
+// Calc (see NewCalc) so its scratch buffers amortize across calls.
 func (a *Analyzer) CalU(id stream.ID) (int, error) {
-	s := a.Set.Get(id)
-	if s == nil {
-		return 0, fmt.Errorf("core: no stream %d", id)
-	}
-	return a.CalUHorizon(id, s.Deadline)
+	return a.NewCalc().CalU(id)
 }
 
 // CalUHorizon computes the delay upper bound with an explicit horizon.
 func (a *Analyzer) CalUHorizon(id stream.ID, horizon int) (int, error) {
-	s := a.Set.Get(id)
-	if s == nil {
-		return 0, fmt.Errorf("core: no stream %d", id)
-	}
-	d, err := a.Diagram(id, horizon)
-	if err != nil {
-		return 0, err
-	}
-	return d.DelayUpperBound(s.Latency), nil
+	return a.NewCalc().CalUHorizon(id, horizon)
 }
 
 // MaxSearchHorizon caps CalUSearch. A bound not found within this many
@@ -132,42 +124,7 @@ func (a *Analyzer) CalUSearch(id stream.ID) (int, error) {
 // margin fits inside h; otherwise the horizon keeps doubling. At the
 // cap the best-effort bound is returned.
 func (a *Analyzer) CalUSearchCap(id stream.ID, maxHorizon int) (int, error) {
-	s := a.Set.Get(id)
-	if s == nil {
-		return 0, fmt.Errorf("core: no stream %d", id)
-	}
-	if maxHorizon < 1 {
-		return 0, fmt.Errorf("core: max horizon %d must be positive", maxHorizon)
-	}
-	elems := a.hps[id].WithoutOwner()
-	margin := 0
-	for _, e := range elems {
-		if p := a.Set.Get(e.ID).Period; p > margin {
-			margin = p
-		}
-	}
-	margin *= len(elems) + 1
-	h := s.Deadline
-	if s.Latency > h {
-		h = s.Latency
-	}
-	if h < 1 {
-		h = 1
-	}
-	best := -1
-	for ; h <= maxHorizon; h *= 2 {
-		u, err := a.CalUHorizon(id, h)
-		if err != nil {
-			return 0, err
-		}
-		if u >= 0 {
-			best = u
-			if u+margin <= h {
-				return u, nil
-			}
-		}
-	}
-	return best, nil
+	return a.NewCalc().CalUSearchCap(id, maxHorizon)
 }
 
 // Verdict is the feasibility result for one stream.
@@ -192,17 +149,5 @@ func DetermineFeasibility(set *stream.Set) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Feasible: true, Verdicts: make([]Verdict, set.Len())}
-	for _, s := range set.ByPriorityDesc() {
-		u, err := a.CalU(s.ID)
-		if err != nil {
-			return nil, err
-		}
-		v := Verdict{ID: s.ID, U: u, Deadline: s.Deadline, Feasible: u >= 0 && u <= s.Deadline}
-		rep.Verdicts[s.ID] = v
-		if !v.Feasible {
-			rep.Feasible = false
-		}
-	}
-	return rep, nil
+	return a.NewCalc().Feasibility()
 }

@@ -1,0 +1,122 @@
+package core
+
+// Arena is a grow-only scratch allocator for the timing-diagram
+// engine's internal buffers (bitset words, demand windows, row
+// headers). A Calc owns one arena and calls Reset before each stream:
+// the backing storage is kept and re-carved, so a worker that analyses
+// thousands of streams allocates roughly once — the GC churn that used
+// to dominate the table benchmarks disappears.
+//
+// Carving hands out zeroed, capacity-clipped sub-slices. When a pool's
+// backing array runs out, a larger one replaces it; slices carved
+// earlier keep pointing into the old array and stay valid, so a grab
+// never invalidates previous grabs (Grow relies on this when it
+// regrows a diagram's bitsets mid-construction).
+//
+// A nil *Arena is valid everywhere and falls back to plain heap
+// allocation; an Arena must not be shared between goroutines.
+type Arena struct {
+	words arenaPool[uint64]
+	ints  arenaPool[int]
+	sets  arenaPool[bitset]
+	rows  arenaPool[[]int]
+	ids   arenaPool[int32]
+}
+
+// Reset recycles all storage: every slice carved before the call is
+// up for reuse, so the caller must have dropped them.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.words.off = 0
+	a.ints.off = 0
+	a.sets.off = 0
+	a.rows.off = 0
+	a.ids.off = 0
+}
+
+type arenaPool[T any] struct {
+	buf []T
+	off int
+}
+
+// grab carves a zeroed slice of length n (len == cap, so appends by
+// the caller cannot bleed into the next carve).
+func grab[T any](p *arenaPool[T], n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if p.off+n > len(p.buf) {
+		c := 2 * cap(p.buf)
+		if c < n {
+			c = n
+		}
+		if c < 64 {
+			c = 64
+		}
+		p.buf = make([]T, c)
+		p.off = 0
+	}
+	s := p.buf[p.off : p.off+n : p.off+n]
+	p.off += n
+	clear(s)
+	return s
+}
+
+func (a *Arena) grabWords(n int) bitset {
+	if a == nil {
+		return make(bitset, n)
+	}
+	return grab(&a.words, n)
+}
+
+func (a *Arena) grabInts(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	return grab(&a.ints, n)
+}
+
+func (a *Arena) grabSets(n int) []bitset {
+	if a == nil {
+		return make([]bitset, n)
+	}
+	return grab(&a.sets, n)
+}
+
+func (a *Arena) grabRows(n int) [][]int {
+	if a == nil {
+		return make([][]int, n)
+	}
+	return grab(&a.rows, n)
+}
+
+func (a *Arena) grabIDs(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	return grab(&a.ids, n)
+}
+
+// regrowWords returns a bitset of length n carrying old's contents in
+// its prefix, zeros beyond. old is returned unchanged when already big
+// enough.
+func (a *Arena) regrowWords(old bitset, n int) bitset {
+	if len(old) >= n {
+		return old[:n]
+	}
+	nw := a.grabWords(n)
+	copy(nw, old)
+	return nw
+}
+
+// regrowInts is regrowWords for demand-window slices.
+func (a *Arena) regrowInts(old []int, n int) []int {
+	if len(old) >= n {
+		return old[:n]
+	}
+	ni := a.grabInts(n)
+	copy(ni, old)
+	return ni
+}

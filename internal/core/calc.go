@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Calc is a reusable Cal_U calculator bound to one Analyzer: it owns a
+// scratch Arena and an element buffer that are recycled across calls,
+// so computing bounds for a whole set — or for the same set over and
+// over, as the sensitivity searches and the simulation-study period
+// inflation do — stops allocating once the buffers have warmed up.
+//
+// A Calc is not safe for concurrent use; DetermineFeasibilityParallel
+// gives every worker its own. The Analyzer methods of the same names
+// are one-shot conveniences that create a throwaway Calc.
+type Calc struct {
+	a     *Analyzer
+	ar    Arena
+	elems []Element // scratch rows handed to newDiagram, rebuilt per call
+}
+
+// NewCalc returns a fresh calculator for the analyzer's stream set.
+func (a *Analyzer) NewCalc() *Calc { return &Calc{a: a} }
+
+// elements fills the scratch element buffer with the diagram rows for
+// id's HP set (owner excluded). The returned slice is owned by the
+// next diagram built from it and invalidated by the next call.
+func (c *Calc) elements(id stream.ID) []Element {
+	h := &c.a.hps[id]
+	c.elems = c.elems[:0]
+	for i := range h.Elems {
+		e := &h.Elems[i]
+		if e.ID == h.Owner {
+			continue
+		}
+		s := c.a.Set.Get(e.ID)
+		c.elems = append(c.elems, Element{
+			ID:       s.ID,
+			Priority: s.Priority,
+			Period:   s.Period,
+			Length:   s.Length,
+			Mode:     e.Mode,
+			Via:      e.Via,
+		})
+	}
+	return c.elems
+}
+
+// CalU computes the delay upper bound of the given stream with the
+// deadline as horizon (the paper's Cal_U). It returns -1 when the
+// bound does not exist within the deadline (the stream is infeasible).
+func (c *Calc) CalU(id stream.ID) (int, error) {
+	s := c.a.Set.Get(id)
+	if s == nil {
+		return 0, fmt.Errorf("core: no stream %d", id)
+	}
+	return c.CalUHorizon(id, s.Deadline)
+}
+
+// CalUHorizon computes the delay upper bound with an explicit horizon.
+func (c *Calc) CalUHorizon(id stream.ID, horizon int) (int, error) {
+	s := c.a.Set.Get(id)
+	if s == nil {
+		return 0, fmt.Errorf("core: no stream %d", id)
+	}
+	c.ar.Reset()
+	d, err := newDiagram(c.elements(id), horizon, &c.ar)
+	if err != nil {
+		return 0, err
+	}
+	d.Modify()
+	return d.DelayUpperBound(s.Latency), nil
+}
+
+// CalUSearchCap computes the delay upper bound with a doubling-horizon
+// search capped at maxHorizon; see Analyzer.CalUSearchCap for the
+// search and stability-margin semantics. Unlike the one-shot path,
+// the search grows a single initial diagram incrementally — the
+// construction is window-local, so doubling the horizon lays out only
+// the new columns — and applies Modify to a clone per horizon (Modify
+// releases are not window-local, so the unmodified original is the one
+// that grows). Sets whose HP elements are all direct skip the clone
+// entirely: Modify would release nothing.
+func (c *Calc) CalUSearchCap(id stream.ID, maxHorizon int) (int, error) {
+	s := c.a.Set.Get(id)
+	if s == nil {
+		return 0, fmt.Errorf("core: no stream %d", id)
+	}
+	if maxHorizon < 1 {
+		return 0, fmt.Errorf("core: max horizon %d must be positive", maxHorizon)
+	}
+	elems := c.elements(id)
+	margin, hasIndirect := 0, false
+	for i := range elems {
+		if elems[i].Period > margin {
+			margin = elems[i].Period
+		}
+		if elems[i].Mode == Indirect {
+			hasIndirect = true
+		}
+	}
+	// The margin is max period × (elements + 1); with 2^21-slot
+	// periods and enough elements the product overflows on 32-bit
+	// ints. Any margin at or beyond MaxSearchHorizon already forces
+	// the search to its cap, so clamping there preserves behavior
+	// while staying in range.
+	if margin > MaxSearchHorizon/(len(elems)+1) {
+		margin = MaxSearchHorizon
+	} else {
+		margin *= len(elems) + 1
+	}
+	h := s.Deadline
+	if s.Latency > h {
+		h = s.Latency
+	}
+	if h < 1 {
+		h = 1
+	}
+	if h > maxHorizon {
+		return -1, nil
+	}
+	c.ar.Reset()
+	init, err := newDiagram(elems, h, &c.ar)
+	if err != nil {
+		return 0, err
+	}
+	best := -1
+	for {
+		d := init
+		if hasIndirect {
+			d = init.clone(&c.ar)
+			d.Modify()
+		}
+		if u := d.DelayUpperBound(s.Latency); u >= 0 {
+			best = u
+			if u+margin <= h {
+				return u, nil
+			}
+		}
+		if h > maxHorizon/2 {
+			break
+		}
+		h *= 2
+		if err := init.Grow(h); err != nil {
+			return 0, err
+		}
+	}
+	return best, nil
+}
+
+// CalUSearch is CalUSearchCap at the global MaxSearchHorizon.
+func (c *Calc) CalUSearch(id stream.ID) (int, error) {
+	return c.CalUSearchCap(id, MaxSearchHorizon)
+}
+
+// Feasibility runs the paper's Determine-Feasibility over the whole
+// set with this calculator's recycled buffers: U for every stream
+// (highest priority first), feasible iff every U exists and is at most
+// the stream's deadline.
+func (c *Calc) Feasibility() (*Report, error) {
+	set := c.a.Set
+	rep := &Report{Feasible: true, Verdicts: make([]Verdict, set.Len())}
+	for _, s := range set.ByPriorityDesc() {
+		u, err := c.CalU(s.ID)
+		if err != nil {
+			return nil, err
+		}
+		v := Verdict{ID: s.ID, U: u, Deadline: s.Deadline, Feasible: u >= 0 && u <= s.Deadline}
+		rep.Verdicts[s.ID] = v
+		if !v.Feasible {
+			rep.Feasible = false
+		}
+	}
+	return rep, nil
+}

@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/stream"
@@ -109,12 +110,41 @@ type Element struct {
 // Modify_Diagram releases demand of indirect elements; the diagram is
 // then re-laid-out, which makes the "Update T_d consistently" step of
 // the paper's pseudocode idempotent.
+//
+// Instead of the dense [row][col] cell matrix of the reference engine
+// (dense.go), the diagram stores per-row bitsets plus one shared
+// occupancy column:
+//
+//   - alloc[r] marks the slots row r transmits in (ALLOCATED);
+//   - req[r] marks the slots row r requests: the allocated slots plus
+//     the slots it was preempted in (ALLOCATED ∪ WAITING);
+//   - occ is the union of every row's alloc set. A slot claimed by one
+//     row is BUSY for every row below, so at most one row allocates
+//     any slot; occ therefore holds exactly "some higher-priority row
+//     transmits here" while rows are scanned in priority order, and
+//     doubles as the result row once the layout is complete (slot c is
+//     FREE for the analysed stream iff occ does not contain c).
+//
+// This removes the per-slot BUSY fan-out to every lower row — the
+// dense engine's O(rows) writes per allocated slot — and turns the
+// scan itself into word-at-a-time bit arithmetic. Cell views (Row,
+// ResultRow, Render) are derived on demand.
 type Diagram struct {
 	Elements []Element // sorted by non-increasing priority, ties by ID
 	Horizon  int       // number of time slots (the paper's dtime)
-	cells    [][]Cell  // [row][col]; len == len(Elements)+1
-	demand   [][]int   // [row][window] remaining slots to claim
-	rowOf    map[stream.ID]int
+
+	words  int      // 64-bit words per row bitset
+	alloc  []bitset // [row]: ALLOCATED slots
+	req    []bitset // [row]: ALLOCATED ∪ WAITING slots
+	freed  []bitset // [row]: slots Modify freed while a higher row still occupies them (view-only); rows lazily allocated
+	occ    bitset   // union of all alloc sets; the result row
+	demand [][]int  // [row][window] remaining slots to claim
+
+	rowOf    map[stream.ID]int // sparse-ID fallback; nil when rowBy covers the range
+	rowBy    []int32           // dense ID -> row (-1 absent); nil when IDs are sparse
+	morder   []int             // Modify's row order, fixed at construction; nil without indirect rows
+	modified bool              // Modify has run; Grow is no longer window-local
+	ar       *Arena            // scratch source; nil means plain heap allocation
 }
 
 // NewDiagram builds the initial timing diagram for the given HP
@@ -123,102 +153,323 @@ type Diagram struct {
 // indirect-element rule. NewDiagram returns an error for non-positive
 // horizons or elements with non-positive period/length.
 func NewDiagram(elems []Element, horizon int) (*Diagram, error) {
+	sorted := make([]Element, len(elems))
+	copy(sorted, elems)
+	return newDiagram(sorted, horizon, nil)
+}
+
+// newDiagram is NewDiagram taking ownership of elems (sorted in place)
+// and carving every buffer from ar when it is non-nil.
+func newDiagram(elems []Element, horizon int, ar *Arena) (*Diagram, error) {
 	if horizon <= 0 {
 		return nil, fmt.Errorf("core: horizon %d must be positive", horizon)
 	}
-	sorted := make([]Element, len(elems))
-	copy(sorted, elems)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Priority != sorted[j].Priority {
-			return sorted[i].Priority > sorted[j].Priority
+	sort.SliceStable(elems, func(i, j int) bool {
+		if elems[i].Priority != elems[j].Priority {
+			return elems[i].Priority > elems[j].Priority
 		}
-		return sorted[i].ID < sorted[j].ID
+		return elems[i].ID < elems[j].ID
 	})
+	n := len(elems)
 	d := &Diagram{
-		Elements: sorted,
+		Elements: elems,
 		Horizon:  horizon,
-		cells:    make([][]Cell, len(sorted)+1),
-		demand:   make([][]int, len(sorted)),
-		rowOf:    make(map[stream.ID]int, len(sorted)),
+		words:    wordsFor(horizon),
+		alloc:    ar.grabSets(n),
+		req:      ar.grabSets(n),
+		occ:      ar.grabWords(wordsFor(horizon)),
+		demand:   ar.grabRows(n),
+		ar:       ar,
 	}
-	for i := range d.cells {
-		d.cells[i] = make([]Cell, horizon)
+	// Row lookup: a dense slice when the ID range is compact (always
+	// the case for sets whose stream IDs are 0..n-1), a map otherwise.
+	maxID, sparse := stream.ID(-1), false
+	for i := range elems {
+		if elems[i].ID < 0 {
+			sparse = true
+		}
+		if elems[i].ID > maxID {
+			maxID = elems[i].ID
+		}
 	}
-	for i, e := range sorted {
+	if sparse || int(maxID) > 4*n+64 {
+		d.rowOf = make(map[stream.ID]int, n)
+	} else if n > 0 {
+		d.rowBy = ar.grabIDs(int(maxID) + 1)
+		for i := range d.rowBy {
+			d.rowBy[i] = -1
+		}
+	}
+	for i := range elems {
+		e := &elems[i]
 		if e.Period <= 0 || e.Length <= 0 {
 			return nil, fmt.Errorf("core: element %d has non-positive period/length (%d/%d)", e.ID, e.Period, e.Length)
 		}
-		if _, dup := d.rowOf[e.ID]; dup {
+		if _, dup := d.rowIndex(e.ID); dup {
 			return nil, fmt.Errorf("core: duplicate element %d", e.ID)
 		}
-		d.rowOf[e.ID] = i
+		if d.rowBy != nil {
+			d.rowBy[e.ID] = int32(i)
+		} else {
+			d.rowOf[e.ID] = i
+		}
+		d.alloc[i] = ar.grabWords(d.words)
+		d.req[i] = ar.grabWords(d.words)
 		windows := (horizon + e.Period - 1) / e.Period
-		d.demand[i] = make([]int, windows)
+		d.demand[i] = ar.grabInts(windows)
 		for k := range d.demand[i] {
 			d.demand[i][k] = e.Length
+		}
+	}
+	for i := range elems {
+		if elems[i].Mode == Indirect {
+			// The order depends only on the rows and their Via
+			// relation, both fixed now — compute it once so Modify on
+			// every per-horizon clone reuses it.
+			d.morder = d.modifyOrder()
+			break
 		}
 	}
 	d.layout(0)
 	return d, nil
 }
 
-// layout re-derives all cells of rows from..end from the current
-// per-window demands: rows above from are kept fixed, their BUSY marks
-// re-propagated, and each row from..end is scanned in priority order.
-func (d *Diagram) layout(from int) {
-	for r := from; r < len(d.cells); r++ {
-		for col := range d.cells[r] {
-			d.cells[r][col] = Free
+// rowIndex resolves an element ID to its row, preferring the dense
+// slice and falling back to the map for sparse ID ranges.
+func (d *Diagram) rowIndex(id stream.ID) (int, bool) {
+	if d.rowBy != nil {
+		if id < 0 || int(id) >= len(d.rowBy) {
+			return 0, false
 		}
+		r := d.rowBy[id]
+		return int(r), r >= 0
 	}
-	for upper := 0; upper < from; upper++ {
-		for col, c := range d.cells[upper] {
-			if c == Allocated {
-				for r := from; r < len(d.cells); r++ {
-					d.cells[r][col] = Busy
-				}
-			}
-		}
+	r, ok := d.rowOf[id]
+	return r, ok
+}
+
+// layout re-derives rows from..end from the current per-window
+// demands: the occupancy column is rebuilt from the fixed rows above
+// from, and each row from..end is scanned in priority order.
+func (d *Diagram) layout(from int) {
+	clear(d.occ)
+	for r := 0; r < from; r++ {
+		d.alloc[r].orInto(d.occ)
 	}
 	for r := from; r < len(d.Elements); r++ {
+		clear(d.alloc[r])
+		clear(d.req[r])
+		if d.freed != nil && d.freed[r] != nil {
+			clear(d.freed[r])
+		}
 		d.scanRow(r)
 	}
 }
 
 // scanRow runs the paper's per-element greedy allocation for one row:
 // within each period window the element claims its remaining demand
-// from the first free slots, marks the slots it was preempted in as
-// WAITING (requesting but preempted), and propagates BUSY to every
-// lower row for each slot it claims. A congested window keeps its full
-// demand — when released capacity above compacts downward on a
-// re-scan, the element legitimately transmits more. Only a window
-// truncated by the horizon has its demand clamped to what was placed:
-// the part beyond the horizon must not re-enter earlier slots on a
-// re-scan, or the diagram would disagree with its own longer-horizon
-// extension.
+// from the first free slots and marks the slots it was preempted in as
+// requested-but-waiting. A congested window keeps its full demand —
+// when released capacity above compacts downward on a re-scan, the
+// element legitimately transmits more. Only a window truncated by the
+// horizon has its demand clamped to what was placed: the part beyond
+// the horizon must not re-enter earlier slots on a re-scan, or the
+// diagram would disagree with its own longer-horizon extension (the
+// same bookkeeping is what lets Grow resume a truncated window
+// exactly).
 func (d *Diagram) scanRow(row int) {
-	e := d.Elements[row]
+	e := &d.Elements[row]
 	for k, start := 0, 0; start < d.Horizon; k, start = k+1, start+e.Period {
-		need := d.demand[row][k]
-		allocated := 0
-		for l := 0; l < e.Period && allocated < need; l++ {
-			col := start + l
-			if col >= d.Horizon {
-				break
+		end, truncated := start+e.Period, false
+		if end > d.Horizon {
+			end, truncated = d.Horizon, true
+		}
+		got := d.claim(row, start, end, d.demand[row][k])
+		if truncated {
+			d.demand[row][k] = got
+		}
+	}
+}
+
+// claim is the word-level greedy scan over [from, to): the row claims
+// up to want free slots — marking them in its alloc set and in the
+// shared occupancy column — and marks every visited slot as requested.
+// The visit stops at the slot that satisfies the demand; an unmet
+// demand visits (and so requests) the whole range. Returns the number
+// of slots claimed.
+func (d *Diagram) claim(row, from, to, want int) int {
+	if want <= 0 || from >= to {
+		return 0
+	}
+	alloc, occ := d.alloc[row], d.occ
+	claimed, stop := 0, to
+	for w := from >> 6; claimed < want; w++ {
+		lo := w << 6
+		if lo >= to {
+			break
+		}
+		mask := ^uint64(0)
+		if lo < from {
+			mask <<= uint(from - lo)
+		}
+		if hi := lo + 64; hi > to {
+			mask &= ^uint64(0) >> uint(hi-to)
+		}
+		free := ^occ[w] & mask
+		n := bits.OnesCount64(free)
+		if claimed+n < want {
+			alloc[w] |= free
+			occ[w] |= free
+			claimed += n
+			continue
+		}
+		take := lowestN(free, want-claimed)
+		alloc[w] |= take
+		occ[w] |= take
+		claimed = want
+		stop = lo + 64 - bits.LeadingZeros64(take)
+	}
+	d.req[row].setRange(from, stop)
+	return claimed
+}
+
+// Grow extends the horizon of an unmodified diagram in place, laying
+// out only the new columns. The construction is window-local: columns
+// of a window are never affected by later columns, so the columns
+// below the old horizon are already final. Only the window truncated
+// by the old horizon resumes its scan — its clamped demand records
+// exactly how many slots it placed, so the remainder of the element's
+// demand picks up at the old horizon — and the fully-new windows are
+// laid out from scratch. The result is byte-identical to building the
+// diagram at newHorizon from scratch (the differential tests pin
+// this). Growing a modified diagram is an error: Modify's releases are
+// not window-local, so CalUSearchCap grows the unmodified diagram and
+// applies Modify to a clone per horizon.
+func (d *Diagram) Grow(newHorizon int) error {
+	if d.modified {
+		return fmt.Errorf("core: cannot grow a modified diagram")
+	}
+	if newHorizon < d.Horizon {
+		return fmt.Errorf("core: cannot shrink horizon %d to %d", d.Horizon, newHorizon)
+	}
+	if newHorizon == d.Horizon {
+		return nil
+	}
+	oldH := d.Horizon
+	d.Horizon = newHorizon
+	d.words = wordsFor(newHorizon)
+	d.occ = d.ar.regrowWords(d.occ, d.words)
+	for r := range d.Elements {
+		d.alloc[r] = d.ar.regrowWords(d.alloc[r], d.words)
+		d.req[r] = d.ar.regrowWords(d.req[r], d.words)
+	}
+	// Scanning rows in priority order keeps the layout invariant: the
+	// new columns of occ hold exactly the rows already scanned, and no
+	// scan below touches a column before the old horizon.
+	for r := range d.Elements {
+		e := &d.Elements[r]
+		oldWin := (oldH + e.Period - 1) / e.Period
+		newWin := (newHorizon + e.Period - 1) / e.Period
+		dem := d.ar.regrowInts(d.demand[r], newWin)
+		for k := oldWin; k < newWin; k++ {
+			dem[k] = e.Length
+		}
+		d.demand[r] = dem
+		kb := oldWin - 1
+		if start := kb * e.Period; start+e.Period > oldH {
+			// Resume the truncated window: it placed dem[kb] of the
+			// element's Length slots before the old horizon cut it off.
+			end, trunc := start+e.Period, false
+			if end > newHorizon {
+				end, trunc = newHorizon, true
 			}
-			switch d.cells[row][col] {
-			case Free:
-				d.cells[row][col] = Allocated
-				allocated++
-				for below := row + 1; below < len(d.cells); below++ {
-					d.cells[below][col] = Busy
-				}
-			case Busy:
-				d.cells[row][col] = Waiting
+			got := dem[kb] + d.claim(r, oldH, end, e.Length-dem[kb])
+			if trunc {
+				dem[kb] = got
+			} else {
+				dem[kb] = e.Length
 			}
 		}
-		if start+e.Period > d.Horizon {
-			d.demand[row][k] = allocated
+		for k := kb + 1; k < newWin; k++ {
+			start := k * e.Period
+			end, trunc := start+e.Period, false
+			if end > newHorizon {
+				end, trunc = newHorizon, true
+			}
+			got := d.claim(r, start, end, dem[k])
+			if trunc {
+				dem[k] = got
+			}
+		}
+	}
+	return nil
+}
+
+// clone returns an independent copy of the diagram, carving its
+// buffers from ar. The Elements and row-index structures are shared
+// (they are immutable after construction); the slot and demand state
+// is deep-copied. CalUSearchCap clones the incrementally grown initial
+// diagram before each Modify so the grown original stays unmodified.
+func (d *Diagram) clone(ar *Arena) *Diagram {
+	n := len(d.Elements)
+	c := &Diagram{
+		Elements: d.Elements,
+		Horizon:  d.Horizon,
+		words:    d.words,
+		alloc:    ar.grabSets(n),
+		req:      ar.grabSets(n),
+		occ:      ar.grabWords(d.words),
+		demand:   ar.grabRows(n),
+		rowOf:    d.rowOf,
+		rowBy:    d.rowBy,
+		morder:   d.morder,
+		modified: d.modified,
+		ar:       ar,
+	}
+	copy(c.occ, d.occ)
+	for r := 0; r < n; r++ {
+		c.alloc[r] = ar.grabWords(d.words)
+		copy(c.alloc[r], d.alloc[r])
+		c.req[r] = ar.grabWords(d.words)
+		copy(c.req[r], d.req[r])
+		c.demand[r] = ar.grabInts(len(d.demand[r]))
+		copy(c.demand[r], d.demand[r])
+	}
+	if d.freed != nil {
+		c.freed = ar.grabSets(n)
+		for r, f := range d.freed {
+			if f != nil {
+				c.freed[r] = ar.grabWords(d.words)
+				copy(c.freed[r], f)
+			}
+		}
+	}
+	return c
+}
+
+// rowCells derives the dense cell view of one element row. above must
+// hold the union of the alloc sets of rows 0..row-1; out must have
+// Horizon capacity.
+func (d *Diagram) rowCells(row int, above bitset, out []Cell) {
+	var freed bitset
+	if d.freed != nil {
+		freed = d.freed[row]
+	}
+	alloc, req := d.alloc[row], d.req[row]
+	for c := 0; c < d.Horizon; c++ {
+		switch {
+		case alloc.get(c):
+			out[c] = Allocated
+		case req.get(c):
+			out[c] = Waiting
+		case freed != nil && freed.get(c):
+			// Modify freed the slot while a higher row still occupies
+			// it; the dense engine shows it FREE, not BUSY.
+			out[c] = Free
+		case above.get(c):
+			out[c] = Busy
+		default:
+			out[c] = Free
 		}
 	}
 }
@@ -226,12 +477,16 @@ func (d *Diagram) scanRow(row int) {
 // Row returns a copy of the cells of the element with the given ID.
 // The second result is false if the ID is not an element of the diagram.
 func (d *Diagram) Row(id stream.ID) ([]Cell, bool) {
-	row, ok := d.rowOf[id]
+	row, ok := d.rowIndex(id)
 	if !ok {
 		return nil, false
 	}
+	above := make(bitset, d.words)
+	for r := 0; r < row; r++ {
+		d.alloc[r].orInto(above)
+	}
 	out := make([]Cell, d.Horizon)
-	copy(out, d.cells[row])
+	d.rowCells(row, above, out)
 	return out, true
 }
 
@@ -239,7 +494,11 @@ func (d *Diagram) Row(id stream.ID) ([]Cell, bool) {
 // seen by the analysed stream.
 func (d *Diagram) ResultRow() []Cell {
 	out := make([]Cell, d.Horizon)
-	copy(out, d.cells[len(d.cells)-1])
+	for c := 0; c < d.Horizon; c++ {
+		if d.occ.get(c) {
+			out[c] = Busy
+		}
+	}
 	return out
 }
 
@@ -257,37 +516,61 @@ func (d *Diagram) ResultRow() []Cell {
 // before the elements that block through them (ascending chain depth),
 // so that each element's release test sees its intermediates' final
 // demand.
+//
+// In the bitset engine the release test is one word expression:
+// candidates are the row's requested slots, the covering set is the
+// union of the via rows' requested slots, and everything in the first
+// but not the second is released at once.
 func (d *Diagram) Modify() {
-	order := d.modifyOrder()
-	for _, row := range order {
-		e := d.Elements[row]
-		viaRows := make([]int, 0, len(e.Via))
+	d.modified = true
+	if len(d.morder) == 0 {
+		return
+	}
+	viaRows := d.ar.grabInts(len(d.Elements))[:0]
+	for _, row := range d.morder {
+		e := &d.Elements[row]
+		viaRows = viaRows[:0]
 		for _, v := range e.Via {
-			if vr, ok := d.rowOf[v]; ok {
+			if vr, ok := d.rowIndex(v); ok {
 				viaRows = append(viaRows, vr)
 			}
 		}
 		changed := false
-		for col := 0; col < d.Horizon; col++ {
-			c := d.cells[row][col]
-			if c != Allocated && c != Waiting {
+		req, alloc := d.req[row], d.alloc[row]
+		for w := 0; w < d.words; w++ {
+			cand := req[w]
+			if cand == 0 {
 				continue
 			}
-			requested := false
+			var covered uint64
 			for _, vr := range viaRows {
-				if vc := d.cells[vr][col]; vc == Allocated || vc == Waiting {
-					requested = true
-					break
-				}
+				covered |= d.req[vr][w]
 			}
-			if requested {
+			rel := cand &^ covered
+			if rel == 0 {
 				continue
 			}
-			if c == Allocated {
-				d.demand[row][col/e.Period]--
+			req[w] &^= rel
+			if relWait := rel &^ alloc[w]; relWait != 0 {
+				// The slot stays occupied by the higher row that
+				// preempted us; remember it reads FREE, not BUSY.
+				if d.freed == nil {
+					d.freed = d.ar.grabSets(len(d.Elements))
+				}
+				if d.freed[row] == nil {
+					d.freed[row] = d.ar.grabWords(d.words)
+				}
+				d.freed[row][w] |= relWait
+			}
+			if relAlloc := rel & alloc[w]; relAlloc != 0 {
+				alloc[w] &^= relAlloc
+				d.occ[w] &^= relAlloc
+				for b := relAlloc; b != 0; b &= b - 1 {
+					col := w<<6 + bits.TrailingZeros64(b)
+					d.demand[row][col/e.Period]--
+				}
 				changed = true
 			}
-			d.cells[row][col] = Free
 		}
 		if changed {
 			// The releasing row's surviving slots stay in place (in
@@ -304,24 +587,27 @@ func (d *Diagram) Modify() {
 // modifyOrder returns the rows of the indirect elements in ascending
 // blocking-chain depth (an element's intermediates are processed before
 // the element itself), ties broken lower-priority-row first. Depth is
-// computed from the Via relation with a cycle guard.
+// computed from the Via relation with a cycle guard: onPath marks the
+// rows of the current recursion path (set on entry, cleared on exit),
+// playing the role of the reference implementation's per-root seen map.
 func (d *Diagram) modifyOrder() []int {
-	depth := make([]int, len(d.Elements))
-	var visit func(row int, seen map[int]bool) int
-	visit = func(row int, seen map[int]bool) int {
+	depth := d.ar.grabInts(len(d.Elements))
+	onPath := d.ar.grabIDs(len(d.Elements))
+	var visit func(row int) int
+	visit = func(row int) int {
 		if depth[row] != 0 {
 			return depth[row]
 		}
-		if seen[row] {
+		if onPath[row] != 0 {
 			return 1 // cycle guard: treat as direct depth
 		}
-		seen[row] = true
-		e := d.Elements[row]
+		onPath[row] = 1
+		e := &d.Elements[row]
 		dd := 1
 		if e.Mode == Indirect {
 			for _, v := range e.Via {
-				if vr, ok := d.rowOf[v]; ok {
-					if vd := visit(vr, seen) + 1; vd > dd {
+				if vr, ok := d.rowIndex(v); ok {
+					if vd := visit(vr) + 1; vd > dd {
 						dd = vd
 					}
 				}
@@ -330,16 +616,16 @@ func (d *Diagram) modifyOrder() []int {
 				dd = 2 // indirect with no resolvable vias still ranks after directs
 			}
 		}
-		delete(seen, row)
+		onPath[row] = 0
 		depth[row] = dd
 		return dd
 	}
 	for r := range d.Elements {
-		visit(r, map[int]bool{})
+		visit(r)
 	}
 	var order []int
-	for r, e := range d.Elements {
-		if e.Mode == Indirect {
+	for r := range d.Elements {
+		if d.Elements[r].Mode == Indirect {
 			order = append(order, r)
 		}
 	}
@@ -354,22 +640,24 @@ func (d *Diagram) modifyOrder() []int {
 
 // DelayUpperBound scans the result row and returns the 1-indexed time
 // at which the accumulated FREE slots reach required — the paper's
-// Cal_U scan. It returns -1 if the horizon does not contain enough free
-// slots (the demand cannot be satisfied by the deadline). A required
-// value of zero returns 0.
+// Cal_U scan, one popcount per word. It returns -1 if the horizon does
+// not contain enough free slots (the demand cannot be satisfied by the
+// deadline). A required value of zero returns 0.
 func (d *Diagram) DelayUpperBound(required int) int {
 	if required <= 0 {
 		return 0
 	}
 	got := 0
-	last := d.cells[len(d.cells)-1]
-	for col := 0; col < d.Horizon; col++ {
-		if last[col] == Free {
-			got++
-			if got == required {
-				return col + 1
-			}
+	for w := 0; w < d.words; w++ {
+		free := ^d.occ[w]
+		if hi := (w + 1) << 6; hi > d.Horizon {
+			free &= ^uint64(0) >> uint(hi-d.Horizon)
 		}
+		n := bits.OnesCount64(free)
+		if got+n >= required {
+			return w<<6 + nthSet(free, required-got) + 1
+		}
+		got += n
 	}
 	return -1
 }
@@ -381,11 +669,12 @@ func (d *Diagram) FreeSlots(t int) int {
 		t = d.Horizon
 	}
 	got := 0
-	last := d.cells[len(d.cells)-1]
-	for col := 0; col < t; col++ {
-		if last[col] == Free {
-			got++
+	for w := 0; w<<6 < t; w++ {
+		free := ^d.occ[w]
+		if hi := (w + 1) << 6; hi > t {
+			free &= ^uint64(0) >> uint(hi-t)
 		}
+		got += bits.OnesCount64(free)
 	}
 	return got
 }

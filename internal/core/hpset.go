@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"repro/internal/stream"
 )
@@ -102,15 +102,26 @@ func BuildHPSets(set *stream.Set) []HPSet {
 		}
 	}
 
-	type entry struct {
-		mode Mode
-		via  map[stream.ID]bool
-	}
-	hp := make([]map[stream.ID]*entry, n)
-	for j := range hp {
-		hp[j] = make(map[stream.ID]*entry)
+	// Stream IDs are dense 0..n-1 (stream.Set assigns them in Add
+	// order), so the fixpoint state lives in flat arrays instead of a
+	// map of maps: mode[j*n+e] is e's blocking mode within HP_j and
+	// via[(j*n+e)*words:] the bitset of its intermediates. BuildHPSets
+	// sits on the workload generator's accommodation loop, which
+	// rebuilds the analyzer after every period-inflation pass, so the
+	// construction must not allocate per element. A welcome side
+	// effect: iteration order is by ID everywhere, so the fixpoint
+	// needs no map-order caveats.
+	const (
+		modeNone byte = iota
+		modeDirect
+		modeIndirect
+	)
+	words := (n + 63) / 64
+	mode := make([]byte, n*n)
+	via := make([]uint64, n*n*words)
+	for j := range set.Streams {
 		for _, id := range direct[j] {
-			hp[j][id] = &entry{mode: Direct}
+			mode[j*n+int(id)] = modeDirect
 		}
 	}
 
@@ -119,47 +130,55 @@ func BuildHPSets(set *stream.Set) []HPSet {
 		changed = false
 		for _, sj := range order {
 			j := int(sj.ID)
+			ownerWord, ownerBit := j>>6, uint64(1)<<(uint(j)&63)
 			for _, d := range direct[j] {
 				if d == sj.ID {
 					continue
 				}
-				//rtwlint:ignore detrand monotone fixpoint over set unions; the final hp sets are order-independent
-				for eid, ee := range hp[d] {
-					if eid == sj.ID || eid == d {
+				drow := int(d) * n
+				dWord, dBit := int(d)>>6, uint64(1)<<(uint(d)&63)
+				for eid := 0; eid < n; eid++ {
+					if mode[drow+eid] == modeNone || eid == j || eid == int(d) {
 						continue
 					}
-					cur, ok := hp[j][eid]
-					if ok && cur.mode == Direct {
+					cell := j*n + eid
+					if mode[cell] == modeDirect {
 						continue
 					}
-					if !ok {
-						cur = &entry{mode: Indirect, via: map[stream.ID]bool{}}
-						hp[j][eid] = cur
+					if mode[cell] == modeNone {
+						mode[cell] = modeIndirect
 						changed = true
 					}
 					// Intermediates: D itself if e directly blocks D,
 					// otherwise e's intermediates within HP_D (minus
 					// the owner, which cannot relay blocking to
 					// itself; fall back to D if that empties the set).
-					var contrib []stream.ID
-					if ee.mode == Direct {
-						contrib = []stream.ID{d}
-					} else {
-						//rtwlint:ignore detrand contrib only feeds the cur.via set union; order-independent
-						for v := range ee.via {
-							if v != sj.ID {
-								contrib = append(contrib, v)
-							}
-						}
-						if len(contrib) == 0 {
-							contrib = []stream.ID{d}
-						}
-					}
-					for _, v := range contrib {
-						if !cur.via[v] {
-							cur.via[v] = true
+					dst := via[cell*words : (cell+1)*words]
+					if mode[drow+eid] == modeDirect {
+						if dst[dWord]&dBit == 0 {
+							dst[dWord] |= dBit
 							changed = true
 						}
+						continue
+					}
+					src := via[(drow+eid)*words : (drow+eid)*words+words]
+					empty := true
+					for w := 0; w < words; w++ {
+						c := src[w]
+						if w == ownerWord {
+							c &^= ownerBit
+						}
+						if c != 0 {
+							empty = false
+							if c&^dst[w] != 0 {
+								dst[w] |= c
+								changed = true
+							}
+						}
+					}
+					if empty && dst[dWord]&dBit == 0 {
+						dst[dWord] |= dBit
+						changed = true
 					}
 				}
 			}
@@ -167,21 +186,29 @@ func BuildHPSets(set *stream.Set) []HPSet {
 	}
 
 	out := make([]HPSet, n)
-	for j := range hp {
+	for j := 0; j < n; j++ {
 		h := HPSet{Owner: stream.ID(j)}
-		ids := make([]stream.ID, 0, len(hp[j]))
-		for id := range hp[j] {
-			ids = append(ids, id)
+		count := 0
+		for e := 0; e < n; e++ {
+			if mode[j*n+e] != modeNone {
+				count++
+			}
 		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		for _, id := range ids {
-			e := hp[j][id]
-			elem := HPElem{ID: id, Mode: e.mode}
-			if e.mode == Indirect {
-				for v := range e.via {
-					elem.Via = append(elem.Via, v)
+		h.Elems = make([]HPElem, 0, count)
+		for e := 0; e < n; e++ {
+			cell := j*n + e
+			if mode[cell] == modeNone {
+				continue
+			}
+			elem := HPElem{ID: stream.ID(e), Mode: Direct}
+			if mode[cell] == modeIndirect {
+				elem.Mode = Indirect
+				vs := via[cell*words : (cell+1)*words]
+				for w := 0; w < words; w++ {
+					for b := vs[w]; b != 0; b &= b - 1 {
+						elem.Via = append(elem.Via, stream.ID(w*64+bits.TrailingZeros64(b)))
+					}
 				}
-				sort.Slice(elem.Via, func(a, b int) bool { return elem.Via[a] < elem.Via[b] })
 			}
 			h.Elems = append(h.Elems, elem)
 		}

@@ -15,12 +15,18 @@ import (
 // stream's bound only reads the shared HP sets and builds its own
 // timing diagram, so the streams are embarrassingly parallel; results
 // are identical to the sequential test. workers <= 0 uses GOMAXPROCS.
+//
+// Each worker gets its own Calc, so the scratch arena behind the
+// diagram buffers is strictly goroutine-local and recycled across all
+// streams the worker processes.
 func DetermineFeasibilityParallel(set *stream.Set, workers int) (*Report, error) {
 	a, err := NewAnalyzer(set)
 	if err != nil {
 		return nil, err
 	}
-	return parallelFeasibility(set, workers, a.CalU)
+	return parallelFeasibilityPool(set, workers, func() func(stream.ID) (int, error) {
+		return a.NewCalc().CalU
+	})
 }
 
 // streamErr pairs a failed stream with its error so the propagated
@@ -44,6 +50,14 @@ type streamErr struct {
 //     error is propagated, so a single failing stream (the common
 //     case) reports identically for every worker count and schedule.
 func parallelFeasibility(set *stream.Set, workers int, calU func(stream.ID) (int, error)) (*Report, error) {
+	return parallelFeasibilityPool(set, workers, func() func(stream.ID) (int, error) { return calU })
+}
+
+// parallelFeasibilityPool is parallelFeasibility with a per-worker
+// calU factory: newCalU runs once in each worker goroutine, so a
+// stateful calculator (a Calc and its arena) is confined to that
+// worker without synchronization.
+func parallelFeasibilityPool(set *stream.Set, workers int, newCalU func() func(stream.ID) (int, error)) (*Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -61,6 +75,7 @@ func parallelFeasibility(set *stream.Set, workers int, calU func(stream.ID) (int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			calU := newCalU()
 			for id := range jobs {
 				if failed.Load() {
 					continue // drain: the report is already doomed

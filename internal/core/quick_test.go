@@ -177,39 +177,56 @@ func TestQuickBoundMonotoneInRequired(t *testing.T) {
 	}
 }
 
-// TestQuickHorizonExtensionConsistent: extending the horizon never
-// changes the result row in the region whose windows (transitively
-// through via chains) are complete within the short horizon — the
-// stability margin CalUSearchCap relies on. Columns within the margin
-// of the boundary may legitimately differ because a truncated window
-// places and releases demand differently from its complete version.
+// TestQuickHorizonExtensionConsistent: the initial (pre-Modify)
+// construction is window-local, so extending the horizon never changes
+// ANY column below the short horizon — the invariant Grow and the
+// incremental CalUSearchCap build on. After Modify the same holds for
+// sets without indirect elements (Modify is then a no-op). It does NOT
+// hold for modified diagrams with indirect elements: a window
+// truncated by the horizon places — and therefore releases — demand
+// differently from its complete version, and the re-layout after a
+// release compacts rows below across the whole horizon, so the
+// divergence is not confined to any margin of the boundary (which is
+// why Grow refuses modified diagrams and CalUSearchCap re-runs Modify
+// per horizon on a clone, and why its stability margin is best-effort
+// for the early exit rather than a guarantee).
 func TestQuickHorizonExtensionConsistent(t *testing.T) {
 	f := func(re randElements) bool {
 		elems := []Element(re)
-		maxT := 0
-		for _, e := range elems {
-			if e.Period > maxT {
-				maxT = e.Period
-			}
-		}
-		margin := maxT * (len(elems) + 1)
 		const shortH = 120
-		stable := shortH - margin
-		if stable <= 0 {
-			return true
-		}
 		short, err := NewDiagram(elems, shortH)
 		if err != nil {
 			return false
 		}
-		short.Modify()
 		long, err := NewDiagram(elems, 2*shortH)
 		if err != nil {
 			return false
 		}
-		long.Modify()
 		a, b := short.ResultRow(), long.ResultRow()
-		for i := 0; i < stable; i++ {
+		for i := 0; i < shortH; i++ {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		// Direct-only variant: the prefix stays stable through Modify.
+		direct := make([]Element, len(elems))
+		copy(direct, elems)
+		for i := range direct {
+			direct[i].Mode = Direct
+			direct[i].Via = nil
+		}
+		short, err = NewDiagram(direct, shortH)
+		if err != nil {
+			return false
+		}
+		short.Modify()
+		long, err = NewDiagram(direct, 2*shortH)
+		if err != nil {
+			return false
+		}
+		long.Modify()
+		a, b = short.ResultRow(), long.ResultRow()
+		for i := 0; i < shortH; i++ {
 			if a[i] != b[i] {
 				return false
 			}

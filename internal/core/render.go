@@ -9,7 +9,9 @@ import (
 // Figures 4, 6, 7 and 9: one line per HP element plus the result row,
 // '#' for ALLOCATED, 'w' for WAITING, '-' for BUSY and '.' for FREE,
 // with a time ruler every ten slots. maxCols truncates wide diagrams
-// (0 means the full horizon).
+// (0 means the full horizon). The cell views are derived row by row
+// from the bitset engine, carrying the running occupancy of the rows
+// already printed.
 func (d *Diagram) Render(maxCols int) string {
 	cols := d.Horizon
 	if maxCols > 0 && maxCols < cols {
@@ -28,20 +30,29 @@ func (d *Diagram) Render(maxCols int) string {
 		}
 	}
 	b.WriteByte('\n')
-	for i, e := range d.Elements {
+	above := make(bitset, d.words)
+	row := make([]Cell, d.Horizon)
+	for i := range d.Elements {
+		e := &d.Elements[i]
 		mark := " "
 		if e.Mode == Indirect {
 			mark = "*"
 		}
 		b.WriteString(fmt.Sprintf("M%-3d%s ", e.ID, mark))
+		d.rowCells(i, above, row)
 		for c := 0; c < cols; c++ {
-			b.WriteString(d.cells[i][c].String())
+			b.WriteString(row[c].String())
 		}
 		b.WriteByte('\n')
+		d.alloc[i].orInto(above)
 	}
 	b.WriteString("result")
 	for c := 0; c < cols; c++ {
-		b.WriteString(d.cells[len(d.cells)-1][c].String())
+		if d.occ.get(c) {
+			b.WriteString(Busy.String())
+		} else {
+			b.WriteString(Free.String())
+		}
 	}
 	b.WriteByte('\n')
 	b.WriteString("legend: #=ALLOCATED w=WAITING -=BUSY .=FREE (*=indirect element)\n")

@@ -9,10 +9,32 @@ import (
 // Sensitivity answers the capacity-planning questions a host processor
 // faces when admitting new traffic: how much bigger could a stream's
 // messages get, or how much faster could it run, before some deadline
-// in the set breaks? Both searches rebuild the analysis per candidate
-// value (the HP sets change with nothing here — paths and priorities
-// are fixed — but every timing diagram does), and use the monotonicity
-// of interference in C and 1/T.
+// in the set breaks? Both searches re-validate and re-analyse the set
+// per candidate value, but share one Calc across candidates: the HP
+// sets depend only on paths and priorities, which the searches never
+// touch, and the diagram scratch buffers amortize over the whole
+// binary search. Both use the monotonicity of interference in C and
+// 1/T.
+
+// feasibilityProbe builds the per-candidate feasibility check the
+// sensitivity searches share: validate the mutated set (same check
+// NewAnalyzer would run), then test feasibility with a reused Calc.
+func feasibilityProbe(set *stream.Set) func() (bool, error) {
+	var calc *Calc
+	return func() (bool, error) {
+		if err := set.Validate(); err != nil {
+			return false, err
+		}
+		if calc == nil {
+			calc = (&Analyzer{Set: set, hps: BuildHPSets(set)}).NewCalc()
+		}
+		rep, err := calc.Feasibility()
+		if err != nil {
+			return false, err
+		}
+		return rep.Feasible, nil
+	}
+}
 
 // MaxFeasibleLength returns the largest message length for stream id
 // (keeping everything else fixed) such that the whole set stays
@@ -32,14 +54,11 @@ func MaxFeasibleLength(set *stream.Set, id stream.ID, limit int) (int, error) {
 		s.Length = orig
 		s.Latency = origLat
 	}()
+	probe := feasibilityProbe(set)
 	try := func(c int) (bool, error) {
 		s.Length = c
 		s.Latency = stream.NetworkLatency(s.Path.Hops(), c)
-		rep, err := DetermineFeasibility(set)
-		if err != nil {
-			return false, err
-		}
-		return rep.Feasible, nil
+		return probe()
 	}
 	// Binary search for the last feasible value: feasibility is
 	// monotone non-increasing in C (longer messages only add demand
@@ -82,14 +101,11 @@ func MinFeasiblePeriod(set *stream.Set, id stream.ID, floor int) (int, error) {
 		s.Period = origT
 		s.Deadline = origD
 	}()
+	probe := feasibilityProbe(set)
 	try := func(t int) (bool, error) {
 		s.Period = t
 		s.Deadline = t
-		rep, err := DetermineFeasibility(set)
-		if err != nil {
-			return false, err
-		}
-		return rep.Feasible, nil
+		return probe()
 	}
 	// Feasibility is monotone non-decreasing in T: shorter periods add
 	// demand and tighten the deadline.

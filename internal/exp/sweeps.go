@@ -184,8 +184,9 @@ func QuantizationSweep(streams int, vcCounts []int, seed int64, cycles int) ([]Q
 			return nil, err
 		}
 		us := make([]int, set.Len())
+		calc := analyzer.NewCalc()
 		for _, s := range set.Streams {
-			if us[s.ID], err = analyzer.CalUSearchCap(s.ID, 1<<16); err != nil {
+			if us[s.ID], err = calc.CalUSearchCap(s.ID, 1<<16); err != nil {
 				return nil, err
 			}
 		}
@@ -254,8 +255,9 @@ func RouterLatencySweep(streams, plevels int, seed int64, depths []int, cycles i
 		res := simulator.Run()
 		p := RouterLatencyPoint{R: r}
 		var nu, na int
+		calc := analyzer.NewCalc()
 		for _, s := range set.Streams {
-			u, err := analyzer.CalUSearchCap(s.ID, 1<<16)
+			u, err := calc.CalUSearchCap(s.ID, 1<<16)
 			if err != nil {
 				return nil, err
 			}
@@ -285,8 +287,9 @@ func reinflate(set *stream.Set, a *core.Analyzer) (*stream.Set, *core.Analyzer, 
 	var err error
 	for pass := 0; pass < 8; pass++ {
 		changed := false
+		calc := a.NewCalc()
 		for _, s := range set.Streams {
-			u, err := a.CalUSearchCap(s.ID, 1<<16)
+			u, err := calc.CalUSearchCap(s.ID, 1<<16)
 			if err != nil {
 				return nil, nil, err
 			}

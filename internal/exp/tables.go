@@ -151,8 +151,9 @@ func runTrial(spec TableSpec, seed int64) (*metrics.RatioTable, error) {
 		return nil, err
 	}
 	us := make([]int, set.Len())
+	calc := analyzer.NewCalc()
 	for _, s := range set.Streams {
-		u, err := analyzer.CalUSearchCap(s.ID, 1<<16)
+		u, err := calc.CalUSearchCap(s.ID, 1<<16)
 		if err != nil {
 			return nil, err
 		}

@@ -40,16 +40,15 @@ func (p Path) Uses(c topology.Channel) bool {
 // physical channel. Overlap is the paper's notion of direct blocking:
 // two streams can block each other only if their paths overlap.
 func (p Path) Overlaps(q Path) bool {
-	if len(p.Channels) == 0 || len(q.Channels) == 0 {
-		return false
-	}
-	set := make(map[topology.Channel]struct{}, len(p.Channels))
+	// Mesh paths are short (at most width+height channels), so the
+	// quadratic scan beats building a hash set — and it allocates
+	// nothing, which matters because HP-set construction calls this
+	// for every stream pair.
 	for _, c := range p.Channels {
-		set[c] = struct{}{}
-	}
-	for _, c := range q.Channels {
-		if _, ok := set[c]; ok {
-			return true
+		for _, d := range q.Channels {
+			if c == d {
+				return true
+			}
 		}
 	}
 	return false

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -17,11 +18,25 @@ type Simulator struct {
 
 	links     map[topology.Channel]*link
 	linkOrder []*link
+	pathLinks [][]*link   // per stream: the link at each hop of its path
+	pathOrds  [][]int32   // per stream: the ordinal of each path link
 	prioIdx   map[int]int // priority value -> VC level index (0 = lowest)
 	levels    int
 
+	// Per-link-ordinal arbitration state for the current cycle: bit
+	// ord of candMask marks that candBest[ord] was folded this cycle
+	// (collectCandidates); moveFlits consumes the mask word by word,
+	// visiting winners in ascending ordinal order, and clears it for
+	// the next cycle. The word sweep touches a handful of cache lines
+	// regardless of how many links the network has.
+	candMask []uint64
+	candBest []candidate
+
 	active  []*message
-	nextRel []int // per stream: next release time
+	retired []*message // delivered/dropped this cycle, pooled at cycle end
+	free    []*message // recycled message instances
+	waiting []*link    // links with headers pending a VC (see link.queued)
+	nextRel []int      // per stream: next release time
 	nextSeq []int
 	stamp   int64
 	now     int
@@ -64,17 +79,15 @@ func New(set *stream.Set, cfg Config) (*Simulator, error) {
 		vcsPerLink = 1
 	}
 	// Only channels actually used by some path need router state.
+	seen := make(map[topology.Channel]bool)
+	var chans []topology.Channel
 	for _, st := range set.Streams {
 		for _, ch := range st.Path.Channels {
-			if _, ok := s.links[ch]; !ok {
-				l := &link{ch: ch, vcs: make([]vc, vcsPerLink)}
-				s.links[ch] = l
+			if !seen[ch] {
+				seen[ch] = true
+				chans = append(chans, ch)
 			}
 		}
-	}
-	chans := make([]topology.Channel, 0, len(s.links))
-	for ch := range s.links {
-		chans = append(chans, ch)
 	}
 	sort.Slice(chans, func(i, j int) bool {
 		if chans[i].From != chans[j].From {
@@ -82,8 +95,33 @@ func New(set *stream.Set, cfg Config) (*Simulator, error) {
 		}
 		return chans[i].To < chans[j].To
 	})
-	for _, ch := range chans {
-		s.linkOrder = append(s.linkOrder, s.links[ch])
+	// One contiguous allocation in scan order: the cycle loop walks
+	// the links linearly, so adjacency matters.
+	arr := make([]link, len(chans))
+	for i, ch := range chans {
+		arr[i] = link{ch: ch, vcs: make([]vc, vcsPerLink)}
+		s.links[ch] = &arr[i]
+		s.linkOrder = append(s.linkOrder, &arr[i])
+	}
+	s.candMask = make([]uint64, (len(chans)+63)/64)
+	s.candBest = make([]candidate, len(chans))
+	// Hot paths index links by stream and hop instead of hashing
+	// 16-byte Channel keys every cycle.
+	s.pathLinks = make([][]*link, set.Len())
+	s.pathOrds = make([][]int32, set.Len())
+	ordOf := make(map[topology.Channel]int32, len(chans))
+	for i, ch := range chans {
+		ordOf[ch] = int32(i)
+	}
+	for _, st := range set.Streams {
+		hop := make([]*link, len(st.Path.Channels))
+		ords := make([]int32, len(st.Path.Channels))
+		for i, ch := range st.Path.Channels {
+			hop[i] = s.links[ch]
+			ords[i] = ordOf[ch]
+		}
+		s.pathLinks[st.ID] = hop
+		s.pathOrds[st.ID] = ords
 	}
 	if c.Offsets != nil {
 		copy(s.nextRel, c.Offsets)
@@ -106,10 +144,24 @@ func (s *Simulator) Run() *Result {
 		s.collectCandidates()
 		s.moveFlits()
 		s.accountStalls()
+		// A link's best-candidate slot may still point at a message
+		// retired this cycle, but moveFlits has already consumed and
+		// cleared its mask bit, so the slot is never dereferenced
+		// again and the instances are safe to reissue from the next
+		// cycle on.
+		s.free = append(s.free, s.retired...)
+		s.retired = s.retired[:0]
 	}
 	s.stats.Unfinished = len(s.active)
 	for _, m := range s.active {
 		s.stats.PerStream[m.s.ID].Unfinished++
+	}
+	// Flush the per-link activity counters; only channels that carried
+	// a flit appear in the map, as when it was updated per crossing.
+	for _, l := range s.linkOrder {
+		if l.flits > 0 {
+			s.stats.PerChannel[l.ch] = ChannelStats{BusyCycles: l.busy, Flits: l.flits}
+		}
 	}
 	return s.stats
 }
@@ -119,21 +171,7 @@ func (s *Simulator) Run() *Result {
 func (s *Simulator) release() {
 	for i, st := range s.set.Streams {
 		for s.nextRel[i] <= s.now {
-			m := &message{
-				s:       st,
-				seq:     s.nextSeq[i],
-				genTime: s.nextRel[i],
-				crossed: make([]int, st.Path.Hops()),
-				vcHeld:  make([]int, st.Path.Hops()),
-				prio:    s.prioIdx[st.Priority],
-			}
-			if s.rl > 0 {
-				m.visible = make([]int, st.Path.Hops())
-				m.inflight = make([][]int, st.Path.Hops())
-			}
-			for j := range m.vcHeld {
-				m.vcHeld[j] = -1
-			}
+			m := s.newMessage(st, s.nextSeq[i], s.nextRel[i])
 			s.stamp++
 			m.arrival = s.stamp
 			s.nextSeq[i]++
@@ -143,18 +181,86 @@ func (s *Simulator) release() {
 			}
 			s.active = append(s.active, m)
 			s.stats.PerStream[st.ID].Generated++
-			first := s.links[st.Path.Channels[0]]
-			first.pending = append(first.pending, m)
+			s.addPending(m.links[0], m)
 			s.trace(trace.Event{Cycle: s.now, Kind: trace.Release, Stream: st.ID, Seq: m.seq})
 		}
 	}
 }
 
+// newMessage issues a message instance, recycling a retired one when
+// available. The per-hop counters share one backing array; both it and
+// the message struct survive recycling.
+func (s *Simulator) newMessage(st *stream.Stream, seq, genTime int) *message {
+	hops := st.Path.Hops()
+	n := 2 * hops
+	if s.rl > 0 {
+		n = 3 * hops
+	}
+	var m *message
+	if k := len(s.free); k > 0 {
+		m = s.free[k-1]
+		s.free = s.free[:k-1]
+	} else {
+		m = &message{}
+	}
+	buf := m.buf
+	if cap(buf) < n {
+		buf = make([]int, n)
+	} else {
+		buf = buf[:n]
+		clear(buf)
+	}
+	inflight := m.inflight
+	*m = message{
+		s:       st,
+		links:   s.pathLinks[st.ID],
+		ords:    s.pathOrds[st.ID],
+		buf:     buf,
+		seq:     seq,
+		genTime: genTime,
+		crossed: buf[0:hops:hops],
+		vcHeld:  buf[hops : 2*hops : 2*hops],
+		prio:    s.prioIdx[st.Priority],
+	}
+	if s.rl > 0 {
+		m.visible = buf[2*hops : 3*hops : 3*hops]
+		if cap(inflight) < hops {
+			inflight = make([][]int, hops)
+		} else {
+			inflight = inflight[:hops]
+			for j := range inflight {
+				inflight[j] = inflight[j][:0]
+			}
+		}
+		m.inflight = inflight
+	}
+	for j := range m.vcHeld {
+		m.vcHeld[j] = -1
+	}
+	return m
+}
+
+// addPending enqueues a header waiting for a VC on l and registers l
+// in the waiting list assignVCs works from.
+func (s *Simulator) addPending(l *link, m *message) {
+	l.pending = append(l.pending, m)
+	if !l.queued {
+		l.queued = true
+		s.waiting = append(s.waiting, l)
+	}
+}
+
 // assignVCs runs the header VC-allocation policy on every link with
-// waiting headers.
+// waiting headers. Only links on the waiting list are visited; a link
+// whose queue empties (or was emptied by removePending) drops off the
+// list here. Per-link assignment is independent of the visit order, so
+// working in list order rather than sorted link order changes nothing
+// observable.
 func (s *Simulator) assignVCs() {
-	for _, l := range s.linkOrder {
+	kept := s.waiting[:0]
+	for _, l := range s.waiting {
 		if len(l.pending) == 0 {
+			l.queued = false
 			continue
 		}
 		switch s.cfg.Arbiter {
@@ -207,19 +313,40 @@ func (s *Simulator) assignVCs() {
 				s.trace(trace.Event{Cycle: s.now, Kind: trace.VCAcquire, Stream: m.s.ID, Seq: m.seq, Link: l.ch, VC: 0})
 			}
 		}
+		if len(l.pending) > 0 {
+			kept = append(kept, l)
+		} else {
+			l.queued = false
+		}
 	}
+	s.waiting = kept
 }
 
 // sortPending orders a link's waiting headers: by priority (descending)
-// then arrival when byPriority is set, else pure arrival order.
+// then arrival when byPriority is set, else pure arrival order. The
+// queues are short and nearly sorted (new headers append at the tail),
+// so a stable insertion sort beats sort.SliceStable and, unlike it,
+// allocates nothing — this runs for every link with waiters every
+// cycle.
 func (s *Simulator) sortPending(l *link, byPriority bool) {
-	sort.SliceStable(l.pending, func(i, j int) bool {
-		a, b := l.pending[i], l.pending[j]
-		if byPriority && a.prio != b.prio {
-			return a.prio > b.prio
+	p := l.pending
+	for i := 1; i < len(p); i++ {
+		m := p[i]
+		j := i
+		for j > 0 && pendingBefore(m, p[j-1], byPriority) {
+			p[j] = p[j-1]
+			j--
 		}
-		return a.arrival < b.arrival
-	})
+		p[j] = m
+	}
+}
+
+// pendingBefore reports whether a must be served before b.
+func pendingBefore(a, b *message, byPriority bool) bool {
+	if byPriority && a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.arrival < b.arrival
 }
 
 // pathIndex returns the index of link l within m's path. Headers only
@@ -234,26 +361,39 @@ func (s *Simulator) pathIndex(m *message, l *link) int {
 }
 
 // collectCandidates registers, per link, every message with a flit that
-// could cross it this cycle.
+// could cross it this cycle, folding the physical-channel arbitration
+// in as it goes: each link keeps only the winning candidate — the one
+// on the highest-numbered VC, ties to the earliest-discovered, exactly
+// what a scan over a materialized candidate list would pick. Every VC
+// holds at most one message, so candidates on one link occupy distinct
+// VCs and the incremental maximum is order-independent.
 func (s *Simulator) collectCandidates() {
-	for _, l := range s.linkOrder {
-		l.cand = l.cand[:0]
-	}
+	rl, depth := s.rl, s.cfg.BufferDepth
 	for _, m := range s.active {
 		C := m.s.Length
-		for i := 0; i < m.hops(); i++ {
-			if m.vcHeld[i] < 0 || m.crossed[i] >= C {
+		crossed, vcHeld := m.crossed, m.vcHeld
+		// VCs are held on the contiguous range starting at m.lo (the
+		// prefix is released, everything past the header not yet
+		// acquired), so the scan starts there and stops at the first
+		// hop without a VC. A message waiting for its first VC costs
+		// O(1). A held VC always has flits left to send: the tail
+		// crossing is the moment the VC is released.
+		for i := m.lo; i < len(crossed); i++ {
+			if vcHeld[i] < 0 {
+				break
+			}
+			if crossed[i] >= C {
 				continue
 			}
 			// Flit availability: the source holds all flits; later
 			// channels need a flit buffered at their input (and, with
 			// a router pipeline, out of the pipeline).
 			if i > 0 {
-				avail := m.crossed[i-1]
-				if s.rl > 0 {
+				avail := crossed[i-1]
+				if rl > 0 {
 					avail = m.visible[i]
 				}
-				if avail <= m.crossed[i] {
+				if avail <= crossed[i] {
 					continue
 				}
 			}
@@ -261,76 +401,62 @@ func (s *Simulator) collectCandidates() {
 			// Flits still inside the next router's pipeline occupy
 			// pipeline registers, not the VC buffer, so only flits
 			// that have emerged (visible) count against the depth.
-			if i+1 < m.hops() {
-				occ := m.crossed[i] - m.crossed[i+1]
-				if s.rl > 0 {
-					occ = m.visible[i+1] - m.crossed[i+1]
+			if i+1 < len(crossed) {
+				occ := crossed[i] - crossed[i+1]
+				if rl > 0 {
+					occ = m.visible[i+1] - crossed[i+1]
 				}
-				if occ >= s.cfg.BufferDepth {
+				if occ >= depth {
 					continue
 				}
 			}
-			l := s.links[m.s.Path.Channels[i]]
-			l.cand = append(l.cand, candidate{m: m, idx: i})
+			ord := m.ords[i]
+			w, bit := ord>>6, uint64(1)<<(uint32(ord)&63)
+			if s.candMask[w]&bit == 0 {
+				s.candMask[w] |= bit
+				s.candBest[ord] = candidate{m: m, idx: i}
+			} else if b := &s.candBest[ord]; vcHeld[i] > b.m.vcHeld[b.idx] {
+				s.candBest[ord] = candidate{m: m, idx: i}
+			}
 			m.hadCandidate = true
 		}
 	}
 }
 
-// moveFlits arbitrates every link and advances the winning flits. All
-// decisions were taken against start-of-cycle state (collectCandidates),
-// so flits of one message advance on several links in the same cycle —
-// the wormhole pipeline.
+// moveFlits advances the winning flit of every link that received a
+// candidate this cycle. All decisions were taken against start-of-cycle
+// state (collectCandidates), so flits of one message advance on several
+// links in the same cycle — the wormhole pipeline. Arbitration already
+// happened incrementally during collection; under the strict physical-
+// priority rule the winner additionally transmits only when it sits on
+// the highest occupied VC (the paper's literal formulation: VC v
+// obtains bandwidth only if every higher VC is completely free).
 func (s *Simulator) moveFlits() {
-	for _, l := range s.linkOrder {
-		if len(l.cand) == 0 {
+	strict := s.cfg.StrictPhysicalPriority &&
+		s.cfg.Arbiter != NonPreemptiveFIFO && s.cfg.Arbiter != NonPreemptivePriority
+	for w, word := range s.candMask {
+		if word == 0 {
 			continue
 		}
-		w := s.pickWinner(l)
-		if w == nil {
-			continue
-		}
-		s.advance(l, w)
-	}
-}
-
-// pickWinner applies the physical-channel arbitration policy.
-func (s *Simulator) pickWinner(l *link) *candidate {
-	switch s.cfg.Arbiter {
-	case NonPreemptiveFIFO, NonPreemptivePriority:
-		// Single channel: its owner is the only possible candidate.
-		return &l.cand[0]
-	default:
-		if s.cfg.StrictPhysicalPriority {
-			// The paper's literal rule: VC v transmits only when every
-			// higher VC is completely unoccupied.
-			best := -1
-			for v := len(l.vcs) - 1; v >= 0; v-- {
-				if l.vcs[v].owner != nil {
-					best = v
-					break
+		s.candMask[w] = 0
+		for ; word != 0; word &= word - 1 {
+			ord := w<<6 + bits.TrailingZeros64(word)
+			c := s.candBest[ord]
+			l := s.linkOrder[ord]
+			if strict {
+				top := -1
+				for v := len(l.vcs) - 1; v >= 0; v-- {
+					if l.vcs[v].owner != nil {
+						top = v
+						break
+					}
+				}
+				if c.m.vcHeld[c.idx] != top {
+					continue
 				}
 			}
-			if best < 0 {
-				return nil
-			}
-			for i := range l.cand {
-				c := &l.cand[i]
-				if c.m.vcHeld[c.idx] == best {
-					return c
-				}
-			}
-			return nil
+			s.advance(l, &c)
 		}
-		// Work-conserving: highest-priority VC with a ready flit wins.
-		var best *candidate
-		for i := range l.cand {
-			c := &l.cand[i]
-			if best == nil || c.m.vcHeld[c.idx] > best.m.vcHeld[best.idx] {
-				best = c
-			}
-		}
-		return best
 	}
 }
 
@@ -340,10 +466,8 @@ func (s *Simulator) advance(l *link, c *candidate) {
 	m, i := c.m, c.idx
 	m.crossed[i]++
 	m.advanced = true
-	cs := s.stats.PerChannel[l.ch]
-	cs.BusyCycles++
-	cs.Flits++
-	s.stats.PerChannel[l.ch] = cs
+	l.busy++
+	l.flits++
 	if i+1 < m.hops() {
 		if s.rl > 0 {
 			// The flit enters the next router's pipeline; promote()
@@ -353,8 +477,7 @@ func (s *Simulator) advance(l *link, c *candidate) {
 			// Header arrived at the next router: request a VC there.
 			s.stamp++
 			m.arrival = s.stamp
-			next := s.links[m.s.Path.Channels[i+1]]
-			next.pending = append(next.pending, m)
+			s.addPending(m.links[i+1], m)
 		}
 	}
 	if m.crossed[i] == m.s.Length {
@@ -362,7 +485,12 @@ func (s *Simulator) advance(l *link, c *candidate) {
 		vcIdx := m.vcHeld[i]
 		l.vcs[vcIdx].owner = nil
 		m.vcHeld[i] = -1
-		s.trace(trace.Event{Cycle: s.now + 1, Kind: trace.VCRelease, Stream: m.s.ID, Seq: m.seq, Link: l.ch, VC: vcIdx})
+		if i == m.lo {
+			m.lo++
+		}
+		if s.cfg.Tracer != nil {
+			s.trace(trace.Event{Cycle: s.now + 1, Kind: trace.VCRelease, Stream: m.s.ID, Seq: m.seq, Link: l.ch, VC: vcIdx})
+		}
 		if i == m.hops()-1 {
 			s.deliver(m)
 		}
@@ -384,8 +512,7 @@ func (s *Simulator) promote() {
 				if m.visible[i] == 1 {
 					s.stamp++
 					m.arrival = s.stamp
-					l := s.links[m.s.Path.Channels[i]]
-					l.pending = append(l.pending, m)
+					s.addPending(m.links[i], m)
 				}
 			}
 			m.inflight[i] = q
@@ -406,11 +533,11 @@ func (s *Simulator) dropLate() {
 		h := m.headerAt()
 		if h < m.hops() && m.vcHeld[h] < 0 {
 			// The header is queued for a VC somewhere: withdraw it.
-			s.links[m.s.Path.Channels[h]].removePending(m)
+			m.links[h].removePending(m)
 		}
 		for i, vcIdx := range m.vcHeld {
 			if vcIdx >= 0 {
-				l := s.links[m.s.Path.Channels[i]]
+				l := m.links[i]
 				l.vcs[vcIdx].owner = nil
 				m.vcHeld[i] = -1
 				s.trace(trace.Event{Cycle: s.now, Kind: trace.VCRelease, Stream: m.s.ID, Seq: m.seq, Link: l.ch, VC: vcIdx})
@@ -418,6 +545,7 @@ func (s *Simulator) dropLate() {
 		}
 		st := &s.stats.PerStream[m.s.ID]
 		st.Dropped++
+		s.retired = append(s.retired, m)
 	}
 	s.active = kept
 }
@@ -491,6 +619,7 @@ func (s *Simulator) deliver(m *message) {
 			break
 		}
 	}
+	s.retired = append(s.retired, m)
 }
 
 // Now returns the current simulation time (useful to instrument partial

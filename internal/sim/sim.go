@@ -157,13 +157,23 @@ func (c *Config) withDefaults(n int) (Config, error) {
 	return out, nil
 }
 
-// message is one in-flight (or queued) message instance.
+// message is one in-flight (or queued) message instance. Retired
+// instances (delivered or dropped) are pooled and reissued by
+// release(), so steady-state traffic allocates nothing.
 type message struct {
 	s       *stream.Stream
-	seq     int   // instance number within the stream
-	genTime int   // release time
-	crossed []int // flits that have crossed each path channel
-	vcHeld  []int // VC index held on each path channel, -1 if none
+	links   []*link // the link of each path channel, shared per stream
+	ords    []int32 // each path link's ordinal, shared per stream
+	buf     []int   // backing array of the per-hop counters, recycled
+	seq     int     // instance number within the stream
+	genTime int     // release time
+	crossed []int   // flits that have crossed each path channel
+	vcHeld  []int   // VC index held on each path channel, -1 if none
+	// lo is the first path index whose VC has not been released yet.
+	// VCs are acquired and released in path order, so vcHeld[i] >= 0
+	// only on a contiguous range starting at lo — the per-cycle scans
+	// skip the fully-crossed prefix through it.
+	lo int
 	// visible[i] counts the flits that have arrived at channel i's
 	// input (crossed channel i-1 at least RouterLatency cycles ago);
 	// inflight[i] holds the crossing cycles of flits still inside
@@ -183,10 +193,11 @@ type message struct {
 func (m *message) hops() int { return len(m.crossed) }
 
 // headerAt returns the path index whose channel the header has not yet
-// crossed, or hops() when the header is through.
+// crossed, or hops() when the header is through. Indices below lo are
+// fully crossed, so the scan starts there.
 func (m *message) headerAt() int {
-	for i, c := range m.crossed {
-		if c == 0 {
+	for i := m.lo; i < len(m.crossed); i++ {
+		if m.crossed[i] == 0 {
 			return i
 		}
 	}
@@ -199,14 +210,23 @@ type vc struct {
 }
 
 // link is one directed physical channel with its virtual channels and
-// the headers waiting for a VC assignment.
+// the headers waiting for a VC assignment. All links of a simulator
+// live in one contiguous array in deterministic channel order; the
+// per-cycle arbitration state (cycle stamp, winning candidate) lives
+// in dense per-ordinal arrays on the Simulator, so the cycle loop
+// walks cache-friendly memory instead of chasing per-link pointers.
 type link struct {
 	ch      topology.Channel
 	vcs     []vc
 	pending []*message // headers waiting to acquire a VC, arrival order
-	// cand collects, each cycle, the messages with a flit ready to
-	// cross this link (rebuilt every cycle).
-	cand []candidate
+	// Channel activity counters, flushed into Result.PerChannel at the
+	// end of the run (a map update per crossed flit is too hot).
+	busy  int
+	flits int
+	// queued marks membership in the simulator's waiting list (links
+	// with headers pending a VC), so assignVCs visits only those
+	// instead of scanning every link every cycle.
+	queued bool
 }
 
 type candidate struct {

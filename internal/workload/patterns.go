@@ -159,8 +159,9 @@ func inflatePeriods(set *stream.Set, a *core.Analyzer, cfg Config) (*stream.Set,
 	var err error
 	for pass := 0; pass < 8; pass++ {
 		changed := false
+		calc := a.NewCalc()
 		for _, s := range set.Streams {
-			u, err := a.CalUSearchCap(s.ID, ucap)
+			u, err := calc.CalUSearchCap(s.ID, ucap)
 			if err != nil {
 				return nil, nil, err
 			}
