@@ -39,7 +39,7 @@ bench:
 # converted to JSON at the repo root (committed; see
 # docs/PERFORMANCE.md for the tracked numbers and how to compare).
 bench-json:
-	$(GO) test -run '^$$' -bench '^(BenchmarkTable[1-5]|BenchmarkCalU|BenchmarkHPSetConstruction|BenchmarkSimulator)$$' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable[1-5]|BenchmarkCalU|BenchmarkHPSetConstruction|BenchmarkSimulator|BenchmarkAdmitIncremental|BenchmarkAdmitFull)$$' \
 		-benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_core.json
 
 # Full paper reproduction into out/ (tables, figures+SVG, sweeps,

@@ -1,0 +1,127 @@
+package admit
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// SnapshotStream is the JSON form of one admitted stream.
+type SnapshotStream struct {
+	Handle   Handle `json:"handle"`
+	Src      int    `json:"src"`
+	Dst      int    `json:"dst"`
+	Priority int    `json:"priority"`
+	Period   int    `json:"period"`
+	Length   int    `json:"length"`
+	Deadline int    `json:"deadline"`
+}
+
+// Snapshot is the serializable state of a Controller: the machine and
+// the admitted streams in admission order, with their handles. Bounds
+// are not stored — Restore recomputes them, so a snapshot can never
+// smuggle in stale or hand-edited verdicts.
+type Snapshot struct {
+	Topology      stream.TopologySpec `json:"topology"`
+	RouterLatency int                 `json:"routerLatency,omitempty"`
+	NextHandle    Handle              `json:"nextHandle"`
+	Streams       []SnapshotStream    `json:"streams"`
+}
+
+// Snapshot captures the controller's current state.
+func (c *Controller) Snapshot() (*Snapshot, error) {
+	ts, err := stream.SpecForTopology(c.topo)
+	if err != nil {
+		return nil, fmt.Errorf("admit: %w", err)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sn := &Snapshot{
+		Topology:      ts,
+		RouterLatency: c.set.RouterLatency,
+		NextHandle:    c.nextHandle,
+		Streams:       make([]SnapshotStream, c.set.Len()),
+	}
+	for i, s := range c.set.Streams {
+		sn.Streams[i] = SnapshotStream{
+			Handle: c.handles[i],
+			Src:    int(s.Src), Dst: int(s.Dst),
+			Priority: s.Priority, Period: s.Period,
+			Length: s.Length, Deadline: s.Deadline,
+		}
+	}
+	return sn, nil
+}
+
+// Restore rebuilds a controller from a snapshot: it re-admits every
+// stream in one batch (recomputing all bounds — the restored report is
+// exactly a fresh full analysis) and reinstates the recorded handles.
+// A snapshot whose traffic no longer passes the feasibility test — a
+// corrupt or hand-edited file — is refused rather than partially
+// loaded.
+func Restore(sn *Snapshot, cfg Config) (*Controller, error) {
+	topo, err := sn.Topology.Build()
+	if err != nil {
+		return nil, fmt.Errorf("admit: restore: %w", err)
+	}
+	if cfg.RouterLatency != 0 && cfg.RouterLatency != sn.RouterLatency {
+		return nil, fmt.Errorf("admit: restore: snapshot router latency %d conflicts with configured %d",
+			sn.RouterLatency, cfg.RouterLatency)
+	}
+	cfg.RouterLatency = sn.RouterLatency
+	c, err := New(topo, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("admit: restore: %w", err)
+	}
+	if len(sn.Streams) == 0 {
+		if sn.NextHandle > c.nextHandle {
+			c.nextHandle = sn.NextHandle
+		}
+		return c, nil
+	}
+	seen := make(map[Handle]bool, len(sn.Streams))
+	specs := make([]Spec, len(sn.Streams))
+	maxHandle := Handle(0)
+	for i, ss := range sn.Streams {
+		if ss.Handle <= 0 {
+			return nil, fmt.Errorf("admit: restore: stream %d has invalid handle %d", i, ss.Handle)
+		}
+		if seen[ss.Handle] {
+			return nil, fmt.Errorf("admit: restore: handle %d repeated", ss.Handle)
+		}
+		seen[ss.Handle] = true
+		if ss.Handle > maxHandle {
+			maxHandle = ss.Handle
+		}
+		specs[i] = Spec{
+			Src: topology.NodeID(ss.Src), Dst: topology.NodeID(ss.Dst),
+			Priority: ss.Priority, Period: ss.Period,
+			Length: ss.Length, Deadline: ss.Deadline,
+		}
+	}
+	res, err := c.AdmitBatch(specs)
+	if err != nil {
+		return nil, fmt.Errorf("admit: restore: %w", err)
+	}
+	if !res.Admitted {
+		return nil, fmt.Errorf("admit: restore: snapshot traffic infeasible: %s", res.Rejection)
+	}
+	// Reinstate the recorded handles over the freshly assigned ones.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byHandle = make(map[Handle]int, len(sn.Streams))
+	for i, ss := range sn.Streams {
+		c.handles[i] = ss.Handle
+		c.byHandle[ss.Handle] = i
+	}
+	c.nextHandle = maxHandle + 1
+	if sn.NextHandle > c.nextHandle {
+		c.nextHandle = sn.NextHandle
+	}
+	// Restore is a boot-time reconstruction, not live traffic: the
+	// counters restart from zero rather than double-counting admissions
+	// that happened in a previous life.
+	c.stats = Stats{}
+	return c, nil
+}

@@ -11,6 +11,14 @@ import (
 // information and runs the feasibility test before the job is started.
 type Analyzer struct {
 	Set *stream.Set
+	st  *hpState
+	// hps caches materialized HP sets per stream; an entry with nil
+	// Elems has not been built yet (every real HP set contains at least
+	// its owner). NewAnalyzer materializes everything eagerly; Extend
+	// leaves rows lazy, so an admission that recomputes three bounds
+	// never pays for fifty HP-set materializations. Lazy fills are not
+	// synchronized — parallel batch paths touch their rows up front
+	// (see calUPool callers) before fanning out.
 	hps []HPSet
 }
 
@@ -19,7 +27,50 @@ func NewAnalyzer(set *stream.Set) (*Analyzer, error) {
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
-	return &Analyzer{Set: set, hps: BuildHPSets(set)}, nil
+	st := buildHPState(set)
+	a := &Analyzer{Set: set, st: st, hps: make([]HPSet, set.Len())}
+	for j := range a.hps {
+		a.hps[j] = st.materialize(j)
+	}
+	return a, nil
+}
+
+// Extend returns an analyzer for cand, which must extend a's stream
+// set by appending streams (the first Len() entries must be the very
+// same streams; topology and router latency must match). The HP-set
+// fixpoint is warm-started from a's converged state — the admission
+// fast path: adding streams only grows HP sets, so the old state is a
+// valid starting point and only the new streams' pairwise overlaps are
+// computed. HP sets of the extended analyzer materialize lazily on
+// first use. The original analyzer is not modified and remains valid.
+func (a *Analyzer) Extend(cand *stream.Set) (*Analyzer, error) {
+	n := a.Set.Len()
+	if cand.Len() < n {
+		return nil, fmt.Errorf("core: extend: candidate has %d streams, base has %d", cand.Len(), n)
+	}
+	if cand.Topology != a.Set.Topology || cand.RouterLatency != a.Set.RouterLatency {
+		return nil, fmt.Errorf("core: extend: candidate machine differs from base")
+	}
+	for j := 0; j < n; j++ {
+		if cand.Streams[j] != a.Set.Streams[j] {
+			return nil, fmt.Errorf("core: extend: stream %d differs from base", j)
+		}
+	}
+	// The base prefix was validated when the base analyzer was built
+	// (and is pinned pointer-identical above), so only the appended
+	// tail needs checking.
+	if err := cand.ValidateFrom(n); err != nil {
+		return nil, err
+	}
+	return &Analyzer{Set: cand, st: a.st.extend(cand), hps: make([]HPSet, cand.Len())}, nil
+}
+
+// hp returns stream j's HP set, materializing it on first use.
+func (a *Analyzer) hp(j int) *HPSet {
+	if a.hps[j].Elems == nil {
+		a.hps[j] = a.st.materialize(j)
+	}
+	return &a.hps[j]
 }
 
 // HP returns the HP set of the given stream.
@@ -27,7 +78,7 @@ func (a *Analyzer) HP(id stream.ID) (HPSet, error) {
 	if id < 0 || int(id) >= len(a.hps) {
 		return HPSet{}, fmt.Errorf("core: no stream %d", id)
 	}
-	return a.hps[id], nil
+	return *a.hp(int(id)), nil
 }
 
 // BDG returns the blocking dependency graph of the given stream.
@@ -41,7 +92,7 @@ func (a *Analyzer) BDG(id stream.ID) (*BDG, error) {
 
 // elements assembles the timing-diagram rows for id's HP set.
 func (a *Analyzer) elements(id stream.ID) []Element {
-	elems := a.hps[id].WithoutOwner()
+	elems := a.hp(int(id)).WithoutOwner()
 	out := make([]Element, 0, len(elems))
 	for _, e := range elems {
 		s := a.Set.Get(e.ID)

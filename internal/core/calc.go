@@ -28,7 +28,7 @@ func (a *Analyzer) NewCalc() *Calc { return &Calc{a: a} }
 // id's HP set (owner excluded). The returned slice is owned by the
 // next diagram built from it and invalidated by the next call.
 func (c *Calc) elements(id stream.ID) []Element {
-	h := &c.a.hps[id]
+	h := c.a.hp(int(id))
 	c.elems = c.elems[:0]
 	for i := range h.Elems {
 		e := &h.Elems[i]

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Dependents returns, in ascending ID order, the streams whose delay
+// upper bound can depend on any of the target streams: exactly those
+// whose HP set contains a target (each target included, when present,
+// since every HP set carries its owner as a direct element).
+//
+// This is the invalidation hook online admission control is built on.
+// HP sets grow monotonically with the stream population, and a new
+// element (or a new Via intermediate) can only enter HP_j through a
+// blocking chain whose members all appear in HP_j themselves — the
+// folding of Generate_HP inserts every chain intermediate into the
+// owner's set. Adding or removing stream s therefore changes HP_j, and
+// thus U_j, only when s is a member of HP_j: the dirty set of a
+// mutation is the union of the targets' BDG-reachable dependents, read
+// straight off the HP sets. Callers recompute U for the returned
+// streams and may keep every other stream's bound cached; the
+// differential battery in internal/admit pins that the cached reports
+// stay byte-identical to a fresh full analysis.
+//
+// For an admission the HP sets of the grown set are the ones to query;
+// for a withdrawal, the HP sets of the set still containing the
+// leaving streams.
+func (a *Analyzer) Dependents(targets ...stream.ID) ([]stream.ID, error) {
+	n := len(a.hps)
+	marked := make([]bool, n)
+	for _, t := range targets {
+		if t < 0 || int(t) >= n {
+			return nil, fmt.Errorf("core: no stream %d", t)
+		}
+		marked[t] = true
+	}
+	// Membership probes read the flat fixpoint state directly: a mode
+	// cell is set iff the materialized HP set would carry the element,
+	// so no HP set needs to be materialized to answer.
+	ts := make([]int, 0, len(targets))
+	for t := 0; t < n; t++ {
+		if marked[t] {
+			ts = append(ts, t)
+		}
+	}
+	var out []stream.ID
+	for j := 0; j < n; j++ {
+		row := a.st.mode[j*n:]
+		for _, t := range ts {
+			if row[t] != hpModeNone {
+				out = append(out, stream.ID(j))
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestDependentsPaperExample pins the dirty sets of the worked example
+// against its known HP sets (EXPERIMENTS.md): HP_0 = {0}, HP_1 = {1},
+// HP_2 = {0,1,2}, HP_3 = {0,1,2,3}, HP_4 = {0,1,2,3,4}.
+func TestDependentsPaperExample(t *testing.T) {
+	a, err := NewAnalyzer(paperExample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		targets []stream.ID
+		want    []stream.ID
+	}{
+		{[]stream.ID{0}, []stream.ID{0, 2, 3, 4}},
+		{[]stream.ID{1}, []stream.ID{1, 2, 3, 4}},
+		{[]stream.ID{2}, []stream.ID{2, 3, 4}},
+		{[]stream.ID{3}, []stream.ID{3, 4}},
+		{[]stream.ID{4}, []stream.ID{4}},
+		{[]stream.ID{3, 4}, []stream.ID{3, 4}},
+		{[]stream.ID{0, 1}, []stream.ID{0, 1, 2, 3, 4}},
+	}
+	for _, c := range cases {
+		got, err := a.Dependents(c.targets...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Dependents(%v) = %v, want %v", c.targets, got, c.want)
+		}
+	}
+	if _, err := a.Dependents(99); err == nil {
+		t.Error("Dependents accepted an out-of-range stream")
+	}
+	if _, err := a.Dependents(-1); err == nil {
+		t.Error("Dependents accepted a negative stream")
+	}
+}
+
+// TestDependentsCoversHPChanges is the property Dependents rests on:
+// for random sets, removing one stream changes the HP set of exactly
+// the streams Dependents names (beyond the removed stream itself), and
+// the surviving streams' HP sets are unchanged element-for-element.
+func TestDependentsCoversHPChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		set := randomMeshSet(t, rng, 4+rng.Intn(10))
+		a, err := NewAnalyzer(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := stream.ID(rng.Intn(set.Len()))
+		deps, err := a.Dependents(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isDep := make(map[stream.ID]bool, len(deps))
+		for _, d := range deps {
+			isDep[d] = true
+		}
+		// Rebuild the set without the victim; surviving stream j maps to
+		// ID j' = j - (1 if j > victim).
+		sub := &stream.Set{Topology: set.Topology, RouterLatency: set.RouterLatency}
+		oldID := make([]stream.ID, 0, set.Len()-1)
+		for _, s := range set.Streams {
+			if s.ID == victim {
+				continue
+			}
+			s2 := *s
+			s2.ID = stream.ID(len(sub.Streams))
+			sub.Streams = append(sub.Streams, &s2)
+			oldID = append(oldID, s.ID)
+		}
+		b, err := NewAnalyzer(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for newJ, old := range oldID {
+			hNew, err := b.HP(stream.ID(newJ))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hOld, err := a.HP(old)
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := hpEqualUnderRemap(hOld, hNew, victim, oldID)
+			if !same && !isDep[old] {
+				t.Fatalf("trial %d: HP_%d changed after removing %d, but Dependents(%d) = %v",
+					trial, old, victim, victim, deps)
+			}
+		}
+	}
+}
+
+// hpEqualUnderRemap reports whether hNew (over the compacted ID space)
+// equals hOld minus the victim, mapping compacted IDs back through
+// oldID.
+func hpEqualUnderRemap(hOld, hNew HPSet, victim stream.ID, oldID []stream.ID) bool {
+	kept := make([]HPElem, 0, len(hOld.Elems))
+	for _, e := range hOld.Elems {
+		if e.ID != victim {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) != len(hNew.Elems) {
+		return false
+	}
+	for i, e := range hNew.Elems {
+		if oldID[e.ID] != kept[i].ID || e.Mode != kept[i].Mode || len(e.Via) != len(kept[i].Via) {
+			return false
+		}
+		for k, v := range e.Via {
+			if oldID[v] != kept[i].Via[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCalUBatchParallel: the pooled subset recompute returns exactly
+// the bounds of per-stream CalU, in ids order, for any worker count.
+func TestCalUBatchParallel(t *testing.T) {
+	set := paperExample(t)
+	a, err := NewAnalyzer(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []stream.ID{4, 0, 2}
+	want := make([]int, len(ids))
+	for k, id := range ids {
+		if want[k], err = a.CalU(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{0, 1, 2, 8} {
+		got, err := a.CalUBatchParallel(ids, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: %v, want %v", workers, got, want)
+		}
+	}
+	if us, err := a.CalUBatchParallel(nil, 4); err != nil || len(us) != 0 {
+		t.Fatalf("empty batch: (%v, %v)", us, err)
+	}
+	if _, err := a.CalUBatchParallel([]stream.ID{7}, 2); err == nil {
+		t.Fatal("accepted an out-of-range stream")
+	}
+}

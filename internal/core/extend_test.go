@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// randExtendSet builds a random stream set on a small mesh with few
+// priority levels, so paths overlap heavily and equal-priority blocking
+// chains (the fixpoint's hardest case) are common.
+func randExtendSet(t *testing.T, rng *rand.Rand, n int) (*stream.Set, topology.Topology, routing.Router) {
+	t.Helper()
+	m := topology.NewMesh2D(4+rng.Intn(3), 4+rng.Intn(3))
+	r, err := routing.ForTopology(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := stream.NewSet(m)
+	for i := 0; i < n; i++ {
+		src := rng.Intn(m.Nodes())
+		dst := rng.Intn(m.Nodes())
+		if src == dst {
+			dst = (dst + 1) % m.Nodes()
+		}
+		period := 20 + rng.Intn(100)
+		if _, err := set.Add(r, topology.NodeID(src), topology.NodeID(dst),
+			1+rng.Intn(3), period, 1+rng.Intn(8), period); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return set, m, r
+}
+
+// prefixSet clones the first n streams of set into a fresh set sharing
+// the same stream values (the extension contract: the base's streams
+// reappear unchanged at the head of the candidate).
+func prefixSet(set *stream.Set, n int) *stream.Set {
+	return &stream.Set{
+		Topology:      set.Topology,
+		RouterLatency: set.RouterLatency,
+		Streams:       set.Streams[:n:n],
+	}
+}
+
+// TestExtendMatchesColdRebuild pins the warm-started extension against
+// the from-scratch construction: for random sets, building an analyzer
+// over a prefix and extending it with the remaining streams must yield
+// exactly the HP sets (modes, Via intermediates and all) of a cold
+// BuildHPSets over the full set. This is the correctness backbone of
+// the admission fast path — the dirty-set argument assumes the
+// extended analyzer is indistinguishable from a rebuilt one.
+func TestExtendMatchesColdRebuild(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(14)
+		set, _, _ := randExtendSet(t, rng, n)
+		cold := BuildHPSets(set)
+
+		// Split at a random point, including the empty prefix.
+		cut := rng.Intn(n + 1)
+		base, err := NewAnalyzer(prefixSet(set, cut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := base.Extend(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			got, err := ext.HP(stream.ID(j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, cold[j]) {
+				t.Fatalf("trial %d cut %d: HP_%d differs\nwarm: %s\ncold: %s",
+					trial, cut, j, got.String(), cold[j].String())
+			}
+		}
+	}
+}
+
+// TestExtendChainMatchesColdRebuild extends one stream at a time — the
+// online admission pattern — re-checking against a cold rebuild after
+// every step, so warm states are themselves built from warm states.
+func TestExtendChainMatchesColdRebuild(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < trials; trial++ {
+		n := 6 + rng.Intn(10)
+		set, _, _ := randExtendSet(t, rng, n)
+		a, err := NewAnalyzer(prefixSet(set, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= n; k++ {
+			a, err = a.Extend(prefixSet(set, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := BuildHPSets(prefixSet(set, k))
+			for j := 0; j < k; j++ {
+				got, err := a.HP(stream.ID(j))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, cold[j]) {
+					t.Fatalf("trial %d step %d: HP_%d differs\nwarm: %s\ncold: %s",
+						trial, k, j, got.String(), cold[j].String())
+				}
+			}
+			// The dirty probe agrees between warm and cold analyzers.
+			ca, err := NewAnalyzer(prefixSet(set, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wd, err := a.Dependents(stream.ID(k - 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd, err := ca.Dependents(stream.ID(k - 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wd, cd) {
+				t.Fatalf("trial %d step %d: dependents differ warm=%v cold=%v", trial, k, wd, cd)
+			}
+		}
+	}
+}
+
+// TestExtendRejectsMismatchedBase pins the contract checks.
+func TestExtendRejectsMismatchedBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	set, _, _ := randExtendSet(t, rng, 6)
+	a, err := NewAnalyzer(prefixSet(set, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorter candidate.
+	if _, err := a.Extend(prefixSet(set, 3)); err == nil {
+		t.Error("accepted a candidate shorter than the base")
+	}
+	// Same length but different streams at the head.
+	swapped := prefixSet(set, 6)
+	swapped.Streams = append([]*stream.Stream(nil), swapped.Streams...)
+	swapped.Streams[0], swapped.Streams[1] = swapped.Streams[1], swapped.Streams[0]
+	if _, err := a.Extend(swapped); err == nil {
+		t.Error("accepted a candidate whose base streams differ")
+	}
+	// Different machine.
+	other, _, _ := randExtendSet(t, rand.New(rand.NewSource(100)), 6)
+	if _, err := a.Extend(other); err == nil {
+		t.Error("accepted a candidate on a different machine")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/stream"
 )
@@ -87,77 +88,169 @@ func (h *HPSet) String() string {
 // priority streams (whose HP sets reference each other) are handled;
 // the sets grow monotonically, so iteration terminates.
 func BuildHPSets(set *stream.Set) []HPSet {
+	st := buildHPState(set)
+	out := make([]HPSet, st.n)
+	for j := 0; j < st.n; j++ {
+		out[j] = st.materialize(j)
+	}
+	return out
+}
+
+const (
+	hpModeNone byte = iota
+	hpModeDirect
+	hpModeIndirect
+)
+
+// hpState is the flat fixpoint state of Generate_HP over one stream
+// set. Stream IDs are dense 0..n-1 (stream.Set assigns them in Add
+// order), so the state lives in flat arrays instead of a map of maps:
+// mode[j*n+e] is e's blocking mode within HP_j and via[(j*n+e)*words:]
+// the bitset of its intermediates. BuildHPSets sits on the workload
+// generator's accommodation loop, which rebuilds the analyzer after
+// every period-inflation pass, so the construction must not allocate
+// per element. A welcome side effect: iteration order is by ID
+// everywhere, so the fixpoint needs no map-order caveats.
+//
+// The state is kept by the Analyzer after construction because it
+// answers two online-admission questions far cheaper than the
+// materialized sets: membership probes (Dependents reads a mode column
+// instead of scanning Elems) and warm-started extension (extend seeds
+// a grown set's fixpoint from this state instead of from scratch).
+type hpState struct {
+	n      int
+	words  int
+	mode   []byte
+	via    []uint64
+	direct [][]stream.ID // direct blockers of j, owner first
+	// order is the fold order: priority descending, ties by ascending
+	// ID — the same order ByPriorityDesc yields, precomputed so the
+	// fixpoint (and every warm re-run) skips the sort.
+	order []int32
+}
+
+// buildHPState runs the full Generate_HP fixpoint from scratch.
+func buildHPState(set *stream.Set) *hpState {
 	n := set.Len()
+	st := &hpState{
+		n:      n,
+		words:  (n + 63) / 64,
+		mode:   make([]byte, n*n),
+		via:    make([]uint64, n*n*((n+63)/64)),
+		direct: make([][]stream.ID, n),
+	}
 	// direct[j] = IDs of direct blockers of j (including j itself).
-	direct := make([][]stream.ID, n)
 	for j, sj := range set.Streams {
-		direct[j] = append(direct[j], sj.ID)
+		st.direct[j] = append(st.direct[j], sj.ID)
 		for k, sk := range set.Streams {
 			if k == j || sk.Priority < sj.Priority {
 				continue
 			}
 			if sk.Path.Overlaps(sj.Path) {
-				direct[j] = append(direct[j], sk.ID)
+				st.direct[j] = append(st.direct[j], sk.ID)
 			}
 		}
 	}
+	st.order = make([]int32, 0, n)
+	for _, s := range set.ByPriorityDesc() {
+		st.order = append(st.order, int32(s.ID))
+	}
+	st.seed()
+	pending := make([]bool, n)
+	for j := range pending {
+		pending[j] = true
+	}
+	st.run(pending)
+	return st
+}
 
-	// Stream IDs are dense 0..n-1 (stream.Set assigns them in Add
-	// order), so the fixpoint state lives in flat arrays instead of a
-	// map of maps: mode[j*n+e] is e's blocking mode within HP_j and
-	// via[(j*n+e)*words:] the bitset of its intermediates. BuildHPSets
-	// sits on the workload generator's accommodation loop, which
-	// rebuilds the analyzer after every period-inflation pass, so the
-	// construction must not allocate per element. A welcome side
-	// effect: iteration order is by ID everywhere, so the fixpoint
-	// needs no map-order caveats.
-	const (
-		modeNone byte = iota
-		modeDirect
-		modeIndirect
-	)
-	words := (n + 63) / 64
-	mode := make([]byte, n*n)
-	via := make([]uint64, n*n*words)
-	for j := range set.Streams {
-		for _, id := range direct[j] {
-			mode[j*n+int(id)] = modeDirect
+// seed marks every direct-blocker cell; indirect cells are left to the
+// fixpoint.
+func (st *hpState) seed() {
+	for j := range st.direct {
+		for _, id := range st.direct[j] {
+			st.mode[j*st.n+int(id)] = hpModeDirect
 		}
 	}
+}
 
-	order := set.ByPriorityDesc()
-	for changed := true; changed; {
-		changed = false
-		for _, sj := range order {
-			j := int(sj.ID)
+// run iterates the folding rules to a fixpoint (see BuildHPSets),
+// folding only rows marked pending. The worklist is exact, not an
+// approximation: folding row j is a deterministic function of row j and
+// its direct blockers' rows and mutates only row j, so re-folding a row
+// none of whose blocker rows changed since its last fold is a no-op.
+// Skipping those no-ops leaves the state trajectory — including the
+// order in which the history-dependent Via fallback fires — identical
+// to an unconditional sweep over all rows. Whenever a fold changes row
+// j, every row that folds j (the reverse direct edges) becomes pending
+// again; rows later in the priority order are picked up within the same
+// pass, earlier ones on the next, exactly as an unconditional sweep
+// would see them.
+func (st *hpState) run(pending []bool) {
+	n, words, mode, via := st.n, st.words, st.mode, st.via
+	// rev[d] = rows whose fold reads d's row, as one flat counted
+	// array so the whole reverse graph is two allocations.
+	cnt := make([]int32, n+1)
+	total := 0
+	for j, row := range st.direct {
+		for _, d := range row {
+			if int(d) != j {
+				cnt[d+1]++
+				total++
+			}
+		}
+	}
+	for d := 0; d < n; d++ {
+		cnt[d+1] += cnt[d]
+	}
+	revFlat := make([]int32, total)
+	fill := make([]int32, n)
+	copy(fill, cnt[:n])
+	for j, row := range st.direct {
+		for _, d := range row {
+			if int(d) != j {
+				revFlat[fill[d]] = int32(j)
+				fill[d]++
+			}
+		}
+	}
+	rev := func(d int) []int32 { return revFlat[cnt[d]:cnt[d+1]] }
+	for more := true; more; {
+		for _, oj := range st.order {
+			j := int(oj)
+			if !pending[j] {
+				continue
+			}
+			pending[j] = false
+			rowChanged := false
 			ownerWord, ownerBit := j>>6, uint64(1)<<(uint(j)&63)
-			for _, d := range direct[j] {
-				if d == sj.ID {
+			for _, d := range st.direct[j] {
+				if int(d) == j {
 					continue
 				}
 				drow := int(d) * n
 				dWord, dBit := int(d)>>6, uint64(1)<<(uint(d)&63)
 				for eid := 0; eid < n; eid++ {
-					if mode[drow+eid] == modeNone || eid == j || eid == int(d) {
+					if mode[drow+eid] == hpModeNone || eid == j || eid == int(d) {
 						continue
 					}
 					cell := j*n + eid
-					if mode[cell] == modeDirect {
+					if mode[cell] == hpModeDirect {
 						continue
 					}
-					if mode[cell] == modeNone {
-						mode[cell] = modeIndirect
-						changed = true
+					if mode[cell] == hpModeNone {
+						mode[cell] = hpModeIndirect
+						rowChanged = true
 					}
 					// Intermediates: D itself if e directly blocks D,
 					// otherwise e's intermediates within HP_D (minus
 					// the owner, which cannot relay blocking to
 					// itself; fall back to D if that empties the set).
 					dst := via[cell*words : (cell+1)*words]
-					if mode[drow+eid] == modeDirect {
+					if mode[drow+eid] == hpModeDirect {
 						if dst[dWord]&dBit == 0 {
 							dst[dWord] |= dBit
-							changed = true
+							rowChanged = true
 						}
 						continue
 					}
@@ -172,47 +265,176 @@ func BuildHPSets(set *stream.Set) []HPSet {
 							empty = false
 							if c&^dst[w] != 0 {
 								dst[w] |= c
-								changed = true
+								rowChanged = true
 							}
 						}
 					}
 					if empty && dst[dWord]&dBit == 0 {
 						dst[dWord] |= dBit
-						changed = true
+						rowChanged = true
 					}
 				}
 			}
-		}
-	}
-
-	out := make([]HPSet, n)
-	for j := 0; j < n; j++ {
-		h := HPSet{Owner: stream.ID(j)}
-		count := 0
-		for e := 0; e < n; e++ {
-			if mode[j*n+e] != modeNone {
-				count++
+			if rowChanged {
+				for _, k := range rev(j) {
+					pending[k] = true
+				}
 			}
 		}
-		h.Elems = make([]HPElem, 0, count)
-		for e := 0; e < n; e++ {
-			cell := j*n + e
-			if mode[cell] == modeNone {
+		more = false
+		for _, p := range pending {
+			if p {
+				more = true
+				break
+			}
+		}
+	}
+}
+
+// extend returns the fixpoint state for cand, which must append
+// streams to the set st was built from (its first st.n streams
+// unchanged). Instead of starting from scratch it warm-starts the
+// fixpoint from st: HP sets grow monotonically when streams are added,
+// so the previous state is a valid under-approximation of the new
+// fixpoint, the old pairwise overlap tests need not be repeated, and
+// convergence takes one or two passes with few changes. This is the
+// fast path behind single-stream online admission; the property test
+// TestExtendMatchesColdRebuild pins its output element-for-element
+// against a cold BuildHPSets of the grown set.
+func (st *hpState) extend(cand *stream.Set) *hpState {
+	n := cand.Len()
+	ns := &hpState{
+		n:      n,
+		words:  (n + 63) / 64,
+		mode:   make([]byte, n*n),
+		via:    make([]uint64, n*n*((n+63)/64)),
+		direct: make([][]stream.ID, n),
+	}
+	// Old direct rows gain only new blockers (appended in ID order,
+	// matching the cold construction since new IDs sort last); new rows
+	// are computed in full.
+	for j := 0; j < st.n; j++ {
+		sj := cand.Streams[j]
+		row := make([]stream.ID, len(st.direct[j]), len(st.direct[j])+n-st.n)
+		copy(row, st.direct[j])
+		for k := st.n; k < n; k++ {
+			sk := cand.Streams[k]
+			if sk.Priority >= sj.Priority && sk.Path.Overlaps(sj.Path) {
+				row = append(row, sk.ID)
+			}
+		}
+		ns.direct[j] = row
+	}
+	for j := st.n; j < n; j++ {
+		sj := cand.Streams[j]
+		row := []stream.ID{sj.ID}
+		for k, sk := range cand.Streams {
+			if k == j || sk.Priority < sj.Priority {
 				continue
 			}
-			elem := HPElem{ID: stream.ID(e), Mode: Direct}
-			if mode[cell] == modeIndirect {
-				elem.Mode = Indirect
-				vs := via[cell*words : (cell+1)*words]
-				for w := 0; w < words; w++ {
-					for b := vs[w]; b != 0; b &= b - 1 {
-						elem.Via = append(elem.Via, stream.ID(w*64+bits.TrailingZeros64(b)))
-					}
+			if sk.Path.Overlaps(sj.Path) {
+				row = append(row, sk.ID)
+			}
+		}
+		ns.direct[j] = row
+	}
+	// Carry the converged old cells over into the wider arrays. While
+	// the word width is unchanged (sets up to 64 streams per word
+	// boundary) a row's old via cells are contiguous in both layouts,
+	// so the whole row moves in one copy.
+	for j := 0; j < st.n; j++ {
+		copy(ns.mode[j*n:j*n+st.n], st.mode[j*st.n:(j+1)*st.n])
+		if ns.words == st.words {
+			w := st.words
+			copy(ns.via[j*n*w:(j*n+st.n)*w], st.via[j*st.n*w:(j+1)*st.n*w])
+			continue
+		}
+		for e := 0; e < st.n; e++ {
+			copy(ns.via[(j*n+e)*ns.words:(j*n+e)*ns.words+st.words],
+				st.via[(j*st.n+e)*st.words:(j*st.n+e+1)*st.words])
+		}
+	}
+	// Merge the fold order: new streams sort among the old ones by
+	// priority, and every tie breaks toward the old stream because new
+	// IDs are strictly larger.
+	ns.order = make([]int32, 0, n)
+	newIDs := make([]int32, 0, n-st.n)
+	for j := st.n; j < n; j++ {
+		newIDs = append(newIDs, int32(j))
+	}
+	sort.Slice(newIDs, func(a, b int) bool {
+		sa, sb := cand.Streams[newIDs[a]], cand.Streams[newIDs[b]]
+		if sa.Priority != sb.Priority {
+			return sa.Priority > sb.Priority
+		}
+		return newIDs[a] < newIDs[b]
+	})
+	oi := 0
+	for _, id := range st.order {
+		for oi < len(newIDs) && cand.Streams[newIDs[oi]].Priority > cand.Streams[id].Priority {
+			ns.order = append(ns.order, newIDs[oi])
+			oi++
+		}
+		ns.order = append(ns.order, id)
+	}
+	ns.order = append(ns.order, newIDs[oi:]...)
+	ns.seed()
+	// The base state is already a fixpoint for its own streams, so only
+	// rows the seeding touched (new rows, and old rows that gained a
+	// direct blocker) and rows that fold one of those can have stale
+	// cells; everything else re-enters the worklist only if a blocker
+	// row actually changes.
+	grown := make([]bool, n)
+	for j := 0; j < st.n; j++ {
+		grown[j] = len(ns.direct[j]) > len(st.direct[j])
+	}
+	for j := st.n; j < n; j++ {
+		grown[j] = true
+	}
+	pending := make([]bool, n)
+	copy(pending, grown)
+	for j := 0; j < n; j++ {
+		if pending[j] {
+			continue
+		}
+		for _, d := range ns.direct[j] {
+			if grown[int(d)] {
+				pending[j] = true
+				break
+			}
+		}
+	}
+	ns.run(pending)
+	return ns
+}
+
+// materialize builds the HPSet of stream j from the flat state.
+func (st *hpState) materialize(j int) HPSet {
+	n, words := st.n, st.words
+	h := HPSet{Owner: stream.ID(j)}
+	count := 0
+	for e := 0; e < n; e++ {
+		if st.mode[j*n+e] != hpModeNone {
+			count++
+		}
+	}
+	h.Elems = make([]HPElem, 0, count)
+	for e := 0; e < n; e++ {
+		cell := j*n + e
+		if st.mode[cell] == hpModeNone {
+			continue
+		}
+		elem := HPElem{ID: stream.ID(e), Mode: Direct}
+		if st.mode[cell] == hpModeIndirect {
+			elem.Mode = Indirect
+			vs := st.via[cell*words : (cell+1)*words]
+			for w := 0; w < words; w++ {
+				for b := vs[w]; b != 0; b &= b - 1 {
+					elem.Via = append(elem.Via, stream.ID(w*64+bits.TrailingZeros64(b)))
 				}
 			}
-			h.Elems = append(h.Elems, elem)
 		}
-		out[j] = h
+		h.Elems = append(h.Elems, elem)
 	}
-	return out
+	return h
 }

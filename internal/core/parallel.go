@@ -58,17 +58,74 @@ func parallelFeasibility(set *stream.Set, workers int, calU func(stream.ID) (int
 // stateful calculator (a Calc and its arena) is confined to that
 // worker without synchronization.
 func parallelFeasibilityPool(set *stream.Set, workers int, newCalU func() func(stream.ID) (int, error)) (*Report, error) {
+	ids := make([]stream.ID, set.Len())
+	for i := range ids {
+		ids[i] = stream.ID(i)
+	}
+	us, err := calUPool(ids, workers, newCalU)
+	if err != nil {
+		return nil, fmt.Errorf("core: parallel feasibility: %w", err)
+	}
+	rep := &Report{Feasible: true, Verdicts: make([]Verdict, set.Len())}
+	for k, id := range ids {
+		s := set.Get(id)
+		rep.Verdicts[id] = Verdict{
+			ID: id, U: us[k], Deadline: s.Deadline,
+			Feasible: us[k] >= 0 && us[k] <= s.Deadline,
+		}
+		if !rep.Verdicts[id].Feasible {
+			rep.Feasible = false
+		}
+	}
+	return rep, nil
+}
+
+// CalUBatchParallel computes the delay upper bound of each of ids over
+// a pool of workers (workers <= 0 uses GOMAXPROCS); the returned slice
+// aligns with ids. Every worker holds its own Calc, so the scratch
+// arenas stay goroutine-local exactly as in
+// DetermineFeasibilityParallel. The incremental admission controller
+// (package admit) uses this to recompute only the dirty set of a
+// mutation (see Dependents) through the pooled path.
+//
+// The error semantics match the full parallel test: any failure yields
+// (nil, error), remaining jobs are skipped after the first failure, and
+// among observed failures the smallest stream ID's error is propagated.
+func (a *Analyzer) CalUBatchParallel(ids []stream.ID, workers int) ([]int, error) {
+	for _, id := range ids {
+		if a.Set.Get(id) == nil {
+			return nil, fmt.Errorf("core: no stream %d", id)
+		}
+		// Materialize each batch member's HP set before the fan-out:
+		// lazy fills (Extend-built analyzers) are not synchronized, and
+		// each worker only ever reads the rows of its own ids.
+		a.hp(int(id))
+	}
+	us, err := calUPool(ids, workers, func() func(stream.ID) (int, error) {
+		return a.NewCalc().CalU
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: parallel calU: %w", err)
+	}
+	return us, nil
+}
+
+// calUPool fans calU over ids from a pool of workers, returning the
+// bounds aligned with ids. See parallelFeasibility for the pinned
+// error-path semantics; the returned error names the smallest failing
+// stream ID and wraps its calU error.
+func calUPool(ids []stream.ID, workers int, newCalU func() func(stream.ID) (int, error)) ([]int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > set.Len() {
-		workers = set.Len()
+	if workers > len(ids) {
+		workers = len(ids)
 	}
-	rep := &Report{Feasible: true, Verdicts: make([]Verdict, set.Len())}
+	us := make([]int, len(ids))
 	// Buffered so the producer never blocks even if workers bail out
 	// early.
-	jobs := make(chan stream.ID, set.Len())
-	errs := make(chan streamErr, set.Len())
+	jobs := make(chan int, len(ids))
+	errs := make(chan streamErr, len(ids))
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -76,45 +133,36 @@ func parallelFeasibilityPool(set *stream.Set, workers int, newCalU func() func(s
 		go func() {
 			defer wg.Done()
 			calU := newCalU()
-			for id := range jobs {
+			for k := range jobs {
 				if failed.Load() {
-					continue // drain: the report is already doomed
+					continue // drain: the result is already doomed
 				}
-				u, err := calU(id)
+				u, err := calU(ids[k])
 				if err != nil {
 					failed.Store(true)
-					errs <- streamErr{id, err}
+					errs <- streamErr{ids[k], err}
 					continue
 				}
-				s := set.Get(id)
-				//rtwlint:ignore unsyncshared verdict slots are disjoint per stream ID; wg.Wait orders the reads
-				rep.Verdicts[id] = Verdict{
-					ID: id, U: u, Deadline: s.Deadline,
-					Feasible: u >= 0 && u <= s.Deadline,
-				}
+				//rtwlint:ignore unsyncshared us slots are disjoint per job index; wg.Wait orders the reads
+				us[k] = u
 			}
 		}()
 	}
-	for _, s := range set.Streams {
-		jobs <- s.ID
+	for k := range ids {
+		jobs <- k
 	}
 	close(jobs)
 	wg.Wait()
 	close(errs)
-	// The error check must precede the verdict scan: once any stream
-	// failed, zero-valued verdicts of skipped streams carry no meaning.
+	// The error check must precede any use of us: once any stream
+	// failed, zero-valued slots of skipped streams carry no meaning.
 	var fails []streamErr
 	for e := range errs {
 		fails = append(fails, e)
 	}
 	if len(fails) > 0 {
 		sort.Slice(fails, func(i, j int) bool { return fails[i].id < fails[j].id })
-		return nil, fmt.Errorf("core: parallel feasibility: stream %d: %w", fails[0].id, fails[0].err)
+		return nil, fmt.Errorf("stream %d: %w", fails[0].id, fails[0].err)
 	}
-	for _, v := range rep.Verdicts {
-		if !v.Feasible {
-			rep.Feasible = false
-		}
-	}
-	return rep, nil
+	return us, nil
 }

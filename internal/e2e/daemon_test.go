@@ -1,0 +1,264 @@
+package e2e
+
+// The daemon end-to-end test: boot rtwormd's server stack (the same
+// internal/server + internal/admit composition cmd/rtwormd wires up)
+// on a loopback port, drive the full lifecycle over real HTTP —
+// admit, withdraw, report, snapshot persistence, restart-and-restore —
+// and check that graceful shutdown drains an in-flight mutation
+// instead of cutting it off.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/server"
+	"repro/internal/topology"
+)
+
+// bootDaemon starts a server over a fresh controller on 127.0.0.1:0
+// and returns its base URL plus the pieces the test needs to shut it
+// down and inspect it.
+func bootDaemon(t *testing.T, snapshotPath string, delay time.Duration) (*server.Server, *admit.Controller, string, chan error) {
+	t.Helper()
+	ctl, err := admit.New(topology.NewMesh2D(10, 10), admit.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serveDaemon(t, ctl, snapshotPath, delay)
+}
+
+func serveDaemon(t *testing.T, ctl *admit.Controller, snapshotPath string, delay time.Duration) (*server.Server, *admit.Controller, string, chan error) {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Controller:    ctl,
+		SnapshotPath:  snapshotPath,
+		MutationDelay: delay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return srv, ctl, "http://" + ln.Addr().String(), done
+}
+
+func shutdownDaemon(t *testing.T, srv *server.Server, done chan error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("serve returned %v", err)
+	}
+}
+
+func postStream(t *testing.T, base string, body map[string]int) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/streams", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestDaemonLifecycleOverHTTP drives the worked example through a live
+// daemon: stream-by-stream admission, a rejection, a withdrawal, and a
+// restart that restores the snapshot with identical verdicts.
+func TestDaemonLifecycleOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "state.json")
+	srv, ctl, base, done := bootDaemon(t, snap, 0)
+
+	// healthz answers before any traffic exists.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Admit the worked example stream by stream (§4.4 of the paper, on
+	// the 10×10 mesh; node ids from the repo's canonical layout).
+	streams := []map[string]int{
+		{"src": 37, "dst": 77, "priority": 5, "period": 15, "length": 4},
+		{"src": 11, "dst": 45, "priority": 4, "period": 10, "length": 2},
+		{"src": 12, "dst": 57, "priority": 3, "period": 40, "length": 4},
+		{"src": 14, "dst": 58, "priority": 2, "period": 45, "length": 9},
+		{"src": 16, "dst": 39, "priority": 1, "period": 50, "length": 6},
+	}
+	var handles []int64
+	for i, s := range streams {
+		resp := postStream(t, base, s)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("admit %d: status %d", i, resp.StatusCode)
+		}
+		var ar struct {
+			Handles []int64 `json:"handles"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		handles = append(handles, ar.Handles[0])
+	}
+
+	// The report over HTTP carries the paper's bounds.
+	var rep struct {
+		Feasible bool `json:"feasible"`
+		Verdicts []struct {
+			U int `json:"u"`
+		} `json:"verdicts"`
+	}
+	resp, err = http.Get(base + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wantU := []int{7, 8, 26, 30, 33}
+	if !rep.Feasible || len(rep.Verdicts) != 5 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for i, v := range rep.Verdicts {
+		if v.U != wantU[i] {
+			t.Fatalf("U_%d = %d over HTTP, want %d", i, v.U, wantU[i])
+		}
+	}
+
+	// An infeasible stream is refused with 409 and leaves no trace.
+	resp = postStream(t, base, map[string]int{
+		"src": 37, "dst": 77, "priority": 9, "period": 5, "length": 5, "deadline": 2,
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("infeasible admit: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if ctl.Len() != 5 {
+		t.Fatalf("rejection left %d streams", ctl.Len())
+	}
+
+	// Withdraw one stream over HTTP.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/streams/%d", base, handles[4]), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("withdraw: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Stop the daemon, then boot a second one from the snapshot — the
+	// restart path of cmd/rtwormd.
+	shutdownDaemon(t, srv, done)
+	ctl2, ok, err := server.LoadSnapshot(snap, admit.Config{})
+	if err != nil || !ok {
+		t.Fatalf("restore: ok=%v err=%v", ok, err)
+	}
+	srv2, ctl2, base2, done2 := serveDaemon(t, ctl2, snap, 0)
+	defer shutdownDaemon(t, srv2, done2)
+
+	if ctl2.Len() != 4 {
+		t.Fatalf("restored %d streams, want 4", ctl2.Len())
+	}
+	b1, _ := json.Marshal(ctl.Report())
+	b2, _ := json.Marshal(ctl2.Report())
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("restored report differs:\n%s\n%s", b1, b2)
+	}
+	// The restored daemon keeps serving: admit the withdrawn stream
+	// again and the original verdicts come back.
+	resp = postStream(t, base2, streams[4])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-admit after restore: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestDaemonShutdownDrainsInFlight pins the graceful-shutdown
+// guarantee: a mutation that is mid-flight when Shutdown begins
+// completes (200, committed, persisted) rather than being dropped.
+func TestDaemonShutdownDrainsInFlight(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "state.json")
+	const delay = 300 * time.Millisecond
+	srv, ctl, base, done := bootDaemon(t, snap, delay)
+
+	type result struct {
+		status int
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/streams", "application/json",
+			bytes.NewReader([]byte(`{"src":0,"dst":9,"priority":1,"period":100,"length":4}`)))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		resp.Body.Close()
+		resCh <- result{status: resp.StatusCode}
+	}()
+
+	// Wait until the request is observably in flight, then shut down
+	// while its MutationDelay is still running.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shutdownDaemon(t, srv, done)
+
+	r := <-resCh
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request got status %d", r.status)
+	}
+	if srv.InFlight() != 0 {
+		t.Fatalf("in-flight gauge stuck at %d", srv.InFlight())
+	}
+	if ctl.Len() != 1 {
+		t.Fatalf("drained mutation not committed: %d streams", ctl.Len())
+	}
+	// The mutation's snapshot landed on disk before the daemon exited.
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot missing after drain: %v", err)
+	}
+	ctl2, ok, err := server.LoadSnapshot(snap, admit.Config{})
+	if err != nil || !ok || ctl2.Len() != 1 {
+		t.Fatalf("snapshot restore after drain: ok=%v err=%v", ok, err)
+	}
+
+	// After shutdown the port refuses new work.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+}

@@ -11,12 +11,18 @@
 // job is admitted only when every stream — new and old — keeps its
 // delay bound within its deadline; otherwise the admission rolls back
 // and the running system is untouched.
+//
+// The feasibility machinery is delegated to an internal
+// admit.Controller, so per-job admissions recompute only the delay
+// bounds the new streams can affect; verdicts are identical to a full
+// offline test (package admit's differential battery pins this).
 package jobs
 
 import (
 	"fmt"
 	"sort"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/routing"
@@ -46,6 +52,11 @@ type Controller struct {
 	jobs   map[string]*Placement
 	order  []string // admission order, for deterministic stream layout
 
+	// ac holds the live combined stream set; handles maps each job to
+	// its streams inside ac, in demand order.
+	ac      *admit.Controller
+	handles map[string][]admit.Handle
+
 	// AnnealIterations tunes the placement refinement (default 3000).
 	AnnealIterations int
 }
@@ -57,12 +68,32 @@ func NewController(t topology.Topology) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	ac, err := admit.New(t, admit.Config{})
+	if err != nil {
+		return nil, err
+	}
 	return &Controller{
-		topo:   t,
-		router: r,
-		used:   make(map[topology.NodeID]string),
-		jobs:   make(map[string]*Placement),
+		topo:    t,
+		router:  r,
+		used:    make(map[topology.NodeID]string),
+		jobs:    make(map[string]*Placement),
+		ac:      ac,
+		handles: make(map[string][]admit.Handle),
 	}, nil
+}
+
+// specsFor converts a placed job's demands into admission specs, in
+// demand order.
+func specsFor(job Job, assign place.Assignment) []admit.Spec {
+	specs := make([]admit.Spec, len(job.Graph.Demands))
+	for i, d := range job.Graph.Demands {
+		specs[i] = admit.Spec{
+			Src: assign[d.From], Dst: assign[d.To],
+			Priority: d.Priority, Period: d.Period,
+			Length: d.Length, Deadline: d.Deadline,
+		}
+	}
+	return specs
 }
 
 // FreeNodes returns the unallocated nodes in ascending order.
@@ -145,26 +176,29 @@ func (c *Controller) Admit(job Job) (*Verdict, error) {
 		return nil, err
 	}
 
-	// Tentatively commit, build the combined set, test, roll back on
-	// failure.
+	// Admit the job's streams as one atomic batch: the admission
+	// controller tests the combined traffic (recomputing only the
+	// bounds the new streams can affect) and commits nothing on
+	// rejection, so rollback is free.
+	specs := specsFor(job, assign)
+	var jobHandles []admit.Handle
+	if len(specs) > 0 {
+		res, err := c.ac.AdmitBatch(specs)
+		if err != nil {
+			return nil, err
+		}
+		v.Report = res.Report
+		if !res.Admitted {
+			v.Reason = "combined traffic infeasible"
+			return v, nil
+		}
+		jobHandles = res.Handles
+	} else {
+		v.Report = c.reportCompat()
+	}
 	c.jobs[job.Name] = &Placement{Job: job, Assignment: assign}
 	c.order = append(c.order, job.Name)
-	set, _, err := c.Snapshot()
-	if err != nil {
-		c.rollback(job.Name)
-		return nil, err
-	}
-	rep, err := core.DetermineFeasibility(set)
-	if err != nil {
-		c.rollback(job.Name)
-		return nil, err
-	}
-	v.Report = rep
-	if !rep.Feasible {
-		c.rollback(job.Name)
-		v.Reason = "combined traffic infeasible"
-		return v, nil
-	}
+	c.handles[job.Name] = jobHandles
 	for _, n := range assign {
 		c.used[n] = job.Name
 	}
@@ -176,6 +210,7 @@ func (c *Controller) Admit(job Job) (*Verdict, error) {
 
 func (c *Controller) rollback(name string) {
 	delete(c.jobs, name)
+	delete(c.handles, name)
 	for i, n := range c.order {
 		if n == name {
 			c.order = append(c.order[:i], c.order[i+1:]...)
@@ -184,12 +219,19 @@ func (c *Controller) rollback(name string) {
 	}
 }
 
-// Remove evicts an admitted job, freeing its nodes. The remaining
-// traffic needs no re-test: removing streams only lowers interference.
+// Remove evicts an admitted job, freeing its nodes and withdrawing its
+// streams. The remaining traffic needs no full re-test: removing
+// streams only lowers interference, and the admission controller
+// tightens the affected bounds incrementally.
 func (c *Controller) Remove(name string) error {
 	p, ok := c.jobs[name]
 	if !ok {
 		return fmt.Errorf("jobs: no job %q", name)
+	}
+	if hs := c.handles[name]; len(hs) > 0 {
+		if _, err := c.ac.Withdraw(hs...); err != nil {
+			return fmt.Errorf("jobs: removing %s: %w", name, err)
+		}
 	}
 	for _, n := range p.Assignment {
 		delete(c.used, n)
@@ -248,29 +290,59 @@ func (c *Controller) Repack() (bool, error) {
 			c.used[n] = name
 		}
 	}
-	rep, err := c.Report()
+
+	// Test the re-packed traffic in a candidate admission controller:
+	// one atomic batch over every stream, exactly the old full test.
+	// The live controller is swapped in only on success, so rollback
+	// never has to touch it.
+	cand, err := admit.New(c.topo, admit.Config{})
 	if err != nil {
 		rollback()
 		return false, err
 	}
-	if !rep.Feasible {
-		rollback()
-		return false, nil
+	var specs []admit.Spec
+	for _, name := range c.order {
+		p := c.jobs[name]
+		specs = append(specs, specsFor(p.Job, p.Assignment)...)
 	}
+	newHandles := make(map[string][]admit.Handle, len(c.order))
+	if len(specs) > 0 {
+		res, err := cand.AdmitBatch(specs)
+		if err != nil {
+			rollback()
+			return false, err
+		}
+		if !res.Admitted {
+			rollback()
+			return false, nil
+		}
+		k := 0
+		for _, name := range c.order {
+			n := len(c.jobs[name].Job.Graph.Demands)
+			newHandles[name] = res.Handles[k : k+n]
+			k += n
+		}
+	}
+	c.ac = cand
+	c.handles = newHandles
 	return true, nil
 }
 
-// Report runs the feasibility test over the currently admitted
-// traffic.
+// Report returns the feasibility verdicts over the currently admitted
+// traffic, served from the admission controller's cached bounds —
+// byte-identical to a fresh core.DetermineFeasibility over the
+// combined set.
 func (c *Controller) Report() (*core.Report, error) {
-	set, _, err := c.Snapshot()
-	if err != nil {
-		return nil, err
+	return c.reportCompat(), nil
+}
+
+// reportCompat preserves the historical empty-set shape (nil verdict
+// slice) while delegating everything else to the admission controller.
+func (c *Controller) reportCompat() *core.Report {
+	if c.ac.Len() == 0 {
+		return &core.Report{Feasible: true}
 	}
-	if set.Len() == 0 {
-		return &core.Report{Feasible: true}, nil
-	}
-	return core.DetermineFeasibility(set)
+	return c.ac.Report()
 }
 
 // Utilization summarises node usage per job.

@@ -1,0 +1,467 @@
+// Package server exposes an admit.Controller as a JSON HTTP service —
+// the online face of the paper's host processor. It is stdlib-only:
+// a net/http ServeMux with method-qualified routes, JSON bodies, a
+// Prometheus-style text /metrics endpoint backed by internal/hist, and
+// optional snapshot persistence with atomic rename so a restarted
+// daemon resumes exactly where it stopped.
+//
+// Routes (see docs/DAEMON.md for the full reference):
+//
+//	POST   /v1/streams           admit one stream
+//	DELETE /v1/streams/{handle}  withdraw one stream
+//	POST   /v1/jobs              admit a batch atomically
+//	GET    /v1/streams           list admitted streams
+//	GET    /v1/report            feasibility report over the live set
+//	GET    /healthz              liveness probe
+//	GET    /metrics              counters + recompute-latency histograms
+//
+// Failure semantics: infeasible admissions are 409 with the structured
+// rejection, malformed requests are 400, unknown handles are 404. A
+// mutation commits in memory before its snapshot is written; if the
+// snapshot write fails the response is 500 with "committed": true and
+// the daemon keeps serving from memory (the operator loses restart
+// durability, not traffic).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"repro/internal/admit"
+	"repro/internal/hist"
+	"repro/internal/topology"
+)
+
+// Config assembles a Server.
+type Config struct {
+	Controller *admit.Controller
+	// SnapshotPath persists the controller state after every mutation;
+	// empty disables persistence.
+	SnapshotPath string
+	// MutationDelay artificially lengthens every mutation while it
+	// holds no lock. It exists for the end-to-end shutdown-drain test
+	// (internal/e2e), which needs a request reliably in flight; leave
+	// zero in production.
+	MutationDelay time.Duration
+}
+
+// Server is the HTTP face of one admission controller.
+type Server struct {
+	ctl          *admit.Controller
+	snapshotPath string
+	delay        time.Duration
+	httpSrv      *http.Server
+	inflight     atomic.Int64
+
+	mu           sync.Mutex
+	admitLat     hist.H // admit mutation latency, µs (recompute included)
+	withdrawLat  hist.H // withdraw mutation latency, µs
+	snapshotErrs int64
+}
+
+// New wires the routes and returns a server ready to Serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("server: nil controller")
+	}
+	s := &Server{
+		ctl:          cfg.Controller,
+		snapshotPath: cfg.SnapshotPath,
+		delay:        cfg.MutationDelay,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/streams", s.handleAdmitStream)
+	mux.HandleFunc("DELETE /v1/streams/{handle}", s.handleWithdraw)
+	mux.HandleFunc("GET /v1/streams", s.handleListStreams)
+	mux.HandleFunc("POST /v1/jobs", s.handleAdmitJob)
+	mux.HandleFunc("GET /v1/report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.httpSrv = &http.Server{
+		Handler:           s.track(mux),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// track counts in-flight requests so tests (and /metrics) can observe
+// the drain behaviour of graceful shutdown.
+func (s *Server) track(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// InFlight returns the number of requests currently being served.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.httpSrv.Serve(l) }
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	s.httpSrv.Addr = addr
+	return s.httpSrv.ListenAndServe()
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests drain until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.httpSrv.Shutdown(ctx) }
+
+// StreamRequest is the JSON body of POST /v1/streams and each element
+// of a job batch.
+type StreamRequest struct {
+	Src      int `json:"src"`
+	Dst      int `json:"dst"`
+	Priority int `json:"priority"`
+	Period   int `json:"period"`
+	Length   int `json:"length"`
+	Deadline int `json:"deadline,omitempty"` // defaults to period
+}
+
+func (r StreamRequest) spec() admit.Spec {
+	return admit.Spec{
+		Src: topology.NodeID(r.Src), Dst: topology.NodeID(r.Dst),
+		Priority: r.Priority, Period: r.Period,
+		Length: r.Length, Deadline: r.Deadline,
+	}
+}
+
+// JobRequest is the JSON body of POST /v1/jobs: a jobadm-style batch
+// admitted atomically.
+type JobRequest struct {
+	Name    string          `json:"name,omitempty"`
+	Streams []StreamRequest `json:"streams"`
+}
+
+// AdmitResponse is the success body of the two admission routes.
+type AdmitResponse struct {
+	Handles    []admit.Handle `json:"handles"`
+	Recomputed int            `json:"recomputed"`
+	Feasible   bool           `json:"feasible"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error     string           `json:"error"`
+	Rejection *admit.Rejection `json:"rejection,omitempty"`
+	Committed bool             `json:"committed,omitempty"`
+}
+
+// VerdictResponse is one row of GET /v1/report.
+type VerdictResponse struct {
+	ID       int          `json:"id"`
+	Handle   admit.Handle `json:"handle"`
+	U        int          `json:"u"`
+	Deadline int          `json:"deadline"`
+	Feasible bool         `json:"feasible"`
+}
+
+// ReportResponse is the body of GET /v1/report.
+type ReportResponse struct {
+	Feasible bool              `json:"feasible"`
+	Streams  int               `json:"streams"`
+	Verdicts []VerdictResponse `json:"verdicts"`
+}
+
+// StreamInfo is one row of GET /v1/streams.
+type StreamInfo struct {
+	Handle   admit.Handle `json:"handle"`
+	ID       int          `json:"id"`
+	Src      int          `json:"src"`
+	Dst      int          `json:"dst"`
+	Priority int          `json:"priority"`
+	Period   int          `json:"period"`
+	Length   int          `json:"length"`
+	Deadline int          `json:"deadline"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the connection owns delivery; nothing to do on failure
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decode: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAdmitStream(w http.ResponseWriter, r *http.Request) {
+	var req StreamRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.admit(w, []admit.Spec{req.spec()})
+}
+
+func (s *Server) handleAdmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Streams) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "job has no streams"})
+		return
+	}
+	specs := make([]admit.Spec, len(req.Streams))
+	for i, sr := range req.Streams {
+		specs[i] = sr.spec()
+	}
+	s.admit(w, specs)
+}
+
+// admit runs one admission mutation end to end: the controller call,
+// the latency observation, the snapshot write, and the response.
+func (s *Server) admit(w http.ResponseWriter, specs []admit.Spec) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	t0 := time.Now()
+	res, err := s.ctl.AdmitBatch(specs)
+	elapsed := time.Since(t0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	s.admitLat.Observe(int(elapsed.Microseconds()))
+	s.mu.Unlock()
+	if !res.Admitted {
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error:     "infeasible: " + res.Rejection.String(),
+			Rejection: res.Rejection,
+		})
+		return
+	}
+	if err := s.persist(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+			Error: fmt.Sprintf("snapshot: %v", err), Committed: true,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, AdmitResponse{
+		Handles:    res.Handles,
+		Recomputed: res.Recomputed,
+		Feasible:   res.Report.Feasible,
+	})
+}
+
+func (s *Server) handleWithdraw(w http.ResponseWriter, r *http.Request) {
+	var handle int64
+	if _, err := fmt.Sscanf(r.PathValue("handle"), "%d", &handle); err != nil || handle <= 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed handle"})
+		return
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	t0 := time.Now()
+	recomputed, err := s.ctl.Withdraw(admit.Handle(handle))
+	elapsed := time.Since(t0)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	s.withdrawLat.Observe(int(elapsed.Microseconds()))
+	s.mu.Unlock()
+	if err := s.persist(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+			Error: fmt.Sprintf("snapshot: %v", err), Committed: true,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"recomputed": recomputed})
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
+	admitted := s.ctl.Streams()
+	out := make([]StreamInfo, len(admitted))
+	for i, a := range admitted {
+		out[i] = StreamInfo{
+			Handle: a.Handle, ID: int(a.ID),
+			Src: int(a.Spec.Src), Dst: int(a.Spec.Dst),
+			Priority: a.Spec.Priority, Period: a.Spec.Period,
+			Length: a.Spec.Length, Deadline: a.Spec.Deadline,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]StreamInfo{"streams": out})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, _ *http.Request) {
+	// Streams and Report are two reads of one controller; admissions
+	// between them could skew the join, so take them in one breath via
+	// Streams (which carries the handle mapping) and the cached report.
+	admitted := s.ctl.Streams()
+	rep := s.ctl.Report()
+	if len(rep.Verdicts) != len(admitted) {
+		// A mutation slid between the two reads; retry once with the
+		// report first — two racing reads cannot both lose.
+		rep = s.ctl.Report()
+		admitted = s.ctl.Streams()
+		if len(rep.Verdicts) > len(admitted) {
+			rep.Verdicts = rep.Verdicts[:len(admitted)]
+		}
+	}
+	out := ReportResponse{Feasible: rep.Feasible, Streams: len(rep.Verdicts)}
+	out.Verdicts = make([]VerdictResponse, len(rep.Verdicts))
+	for i, v := range rep.Verdicts {
+		out.Verdicts[i] = VerdictResponse{
+			ID: int(v.ID), U: v.U, Deadline: v.Deadline, Feasible: v.Feasible,
+		}
+		if i < len(admitted) {
+			out.Verdicts[i].Handle = admitted[i].Handle
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the counters and latency histograms in the
+// Prometheus text exposition format, deterministically ordered.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.ctl.Stats()
+	s.mu.Lock()
+	admitLat, withdrawLat := s.admitLat, s.withdrawLat
+	snapErrs := s.snapshotErrs
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP rtwormd_streams Streams currently admitted.\n")
+	fmt.Fprintf(w, "# TYPE rtwormd_streams gauge\n")
+	fmt.Fprintf(w, "rtwormd_streams %d\n", s.ctl.Len())
+	fmt.Fprintf(w, "# TYPE rtwormd_inflight_requests gauge\n")
+	fmt.Fprintf(w, "rtwormd_inflight_requests %d\n", s.InFlight())
+	fmt.Fprintf(w, "# TYPE rtwormd_admitted_total counter\n")
+	fmt.Fprintf(w, "rtwormd_admitted_total %d\n", st.Admitted)
+	fmt.Fprintf(w, "# TYPE rtwormd_rejected_total counter\n")
+	fmt.Fprintf(w, "rtwormd_rejected_total %d\n", st.Rejected)
+	fmt.Fprintf(w, "# TYPE rtwormd_withdrawn_total counter\n")
+	fmt.Fprintf(w, "rtwormd_withdrawn_total %d\n", st.Withdrawn)
+	fmt.Fprintf(w, "# HELP rtwormd_recomputed_bounds_total Delay bounds recomputed across mutations.\n")
+	fmt.Fprintf(w, "# TYPE rtwormd_recomputed_bounds_total counter\n")
+	fmt.Fprintf(w, "rtwormd_recomputed_bounds_total %d\n", st.Recomputed)
+	fmt.Fprintf(w, "# HELP rtwormd_cached_bounds_total Delay bounds served from cache across mutations.\n")
+	fmt.Fprintf(w, "# TYPE rtwormd_cached_bounds_total counter\n")
+	fmt.Fprintf(w, "rtwormd_cached_bounds_total %d\n", st.Cached)
+	fmt.Fprintf(w, "# TYPE rtwormd_snapshot_errors_total counter\n")
+	fmt.Fprintf(w, "rtwormd_snapshot_errors_total %d\n", snapErrs)
+	writeHist(w, "rtwormd_admit_latency_us", "Admit mutation latency (recompute included), microseconds.", &admitLat)
+	writeHist(w, "rtwormd_withdraw_latency_us", "Withdraw mutation latency, microseconds.", &withdrawLat)
+}
+
+// writeHist renders one hist.H as a Prometheus summary.
+func writeHist(w io.Writer, name, help string, h *hist.H) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s summary\n", name)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < 0 {
+			v = 0
+		}
+		fmt.Fprintf(w, "%s{quantile=\"%g\"} %d\n", name, q, v)
+	}
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	mean := h.Mean()
+	if h.Count() == 0 {
+		mean = 0
+	}
+	fmt.Fprintf(w, "%s_sum %d\n", name, int64(mean*float64(h.Count())))
+}
+
+// persist writes the controller snapshot to the configured path with
+// an atomic rename; a no-op without a path.
+func (s *Server) persist() error {
+	if s.snapshotPath == "" {
+		return nil
+	}
+	err := SaveSnapshot(s.ctl, s.snapshotPath)
+	if err != nil {
+		s.mu.Lock()
+		s.snapshotErrs++
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// SaveSnapshot writes the controller state to path atomically: the
+// JSON document lands in a temp file in the same directory and is
+// renamed over the target, so a crash mid-write can never leave a
+// truncated snapshot.
+func SaveSnapshot(c *admit.Controller, path string) error {
+	sn, err := c.Snapshot()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(sn, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".rtwormd-snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSnapshot reads a snapshot file and rebuilds its controller. The
+// boolean reports whether a snapshot existed; (nil, false, nil) means
+// "no file — boot fresh".
+func LoadSnapshot(path string, cfg admit.Config) (*admit.Controller, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var sn admit.Snapshot
+	if err := json.Unmarshal(data, &sn); err != nil {
+		return nil, false, fmt.Errorf("server: snapshot %s: %w", path, err)
+	}
+	c, err := admit.Restore(&sn, cfg)
+	if err != nil {
+		return nil, false, fmt.Errorf("server: snapshot %s: %w", path, err)
+	}
+	return c, true, nil
+}

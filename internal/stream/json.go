@@ -143,28 +143,39 @@ func resolveNode(t topology.Topology, id *int, xy *[2]int, field string) (topolo
 	}
 }
 
-// EncodeSet writes set as a SetSpec JSON document. It is the inverse of
-// DecodeSet for sets routed with the canonical router.
-func EncodeSet(w io.Writer, set *Set) error {
-	spec := SetSpec{RouterLatency: set.RouterLatency}
-	switch t := set.Topology.(type) {
+// SpecForTopology returns the TopologySpec that Build would turn back
+// into t — the inverse of TopologySpec.Build for the known topology
+// kinds. EncodeSet and the admission daemon's snapshot codec share it.
+func SpecForTopology(t topology.Topology) (TopologySpec, error) {
+	switch t := t.(type) {
 	case *topology.Mesh2D:
-		spec.Topology = TopologySpec{Kind: "mesh2d", W: t.W, H: t.H}
+		return TopologySpec{Kind: "mesh2d", W: t.W, H: t.H}, nil
 	case *topology.Torus2D:
-		spec.Topology = TopologySpec{Kind: "torus2d", W: t.W, H: t.H}
+		return TopologySpec{Kind: "torus2d", W: t.W, H: t.H}, nil
 	case *topology.Hypercube:
-		spec.Topology = TopologySpec{Kind: "hypercube", Dim: t.Dim}
+		return TopologySpec{Kind: "hypercube", Dim: t.Dim}, nil
 	case *topology.Ring:
-		spec.Topology = TopologySpec{Kind: "ring", N: t.N}
+		return TopologySpec{Kind: "ring", N: t.N}, nil
 	case *topology.Custom:
 		ts := TopologySpec{Kind: "custom", N: t.Nodes(), Name: t.Name()}
 		for _, ch := range topology.Channels(t) {
 			ts.Edges = append(ts.Edges, [2]int{int(ch.From), int(ch.To)})
 		}
-		spec.Topology = ts
+		return ts, nil
 	default:
-		return fmt.Errorf("stream: cannot encode topology %s", set.Topology.Name())
+		return TopologySpec{}, fmt.Errorf("stream: cannot encode topology %s", t.Name())
 	}
+}
+
+// EncodeSet writes set as a SetSpec JSON document. It is the inverse of
+// DecodeSet for sets routed with the canonical router.
+func EncodeSet(w io.Writer, set *Set) error {
+	spec := SetSpec{RouterLatency: set.RouterLatency}
+	ts, err := SpecForTopology(set.Topology)
+	if err != nil {
+		return err
+	}
+	spec.Topology = ts
 	for _, s := range set.Streams {
 		src, dst := int(s.Src), int(s.Dst)
 		spec.Streams = append(spec.Streams, StreamSpec{

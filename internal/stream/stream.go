@@ -166,11 +166,22 @@ func (set *Set) Get(id ID) *Stream {
 
 // Validate checks every stream and that IDs are consistent with their
 // positions in the set.
-func (set *Set) Validate() error {
+func (set *Set) Validate() error { return set.ValidateFrom(0) }
+
+// ValidateFrom checks the set's router latency and the streams at
+// index from onward. Callers that grow an already-validated set — the
+// analyzer's warm extension admits streams one at a time on top of a
+// validated base — revalidate only the appended tail instead of
+// re-walking every path.
+func (set *Set) ValidateFrom(from int) error {
 	if set.RouterLatency < 0 {
 		return fmt.Errorf("stream set: negative router latency %d", set.RouterLatency)
 	}
-	for i, s := range set.Streams {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < len(set.Streams); i++ {
+		s := set.Streams[i]
 		if s == nil {
 			return fmt.Errorf("stream set: nil stream at index %d", i)
 		}
