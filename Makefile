@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench bench-json reproduce quick-reproduce fuzz cover clean
+.PHONY: all build test test-race vet lint bench bench-json load-smoke reproduce quick-reproduce fuzz cover clean
 
 all: build vet lint test
 
@@ -39,8 +39,15 @@ bench:
 # converted to JSON at the repo root (committed; see
 # docs/PERFORMANCE.md for the tracked numbers and how to compare).
 bench-json:
-	$(GO) test -run '^$$' -bench '^(BenchmarkTable[1-5]|BenchmarkCalU|BenchmarkHPSetConstruction|BenchmarkSimulator|BenchmarkAdmitIncremental|BenchmarkAdmitFull)$$' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable[1-5]|BenchmarkCalU|BenchmarkHPSetConstruction|BenchmarkSimulator|BenchmarkAdmitIncremental|BenchmarkAdmitFull|BenchmarkDaemonLoad)$$' \
 		-benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_core.json
+
+# Short deterministic load run against a hermetic in-process daemon:
+# a fixed seed and rate, chaos kill/restart in the middle, zero error
+# and shed budgets, -check gating the exit code. See docs/LOADTEST.md.
+load-smoke:
+	$(GO) run ./cmd/rtwormload -ops 300 -rate 1000 -seed 1 -clients 6 \
+		-chaos -chaos-down 20ms -slo-errors 0 -slo-shed 0 -check -o /dev/null
 
 # Full paper reproduction into out/ (tables, figures+SVG, sweeps,
 # crosscheck, summary).

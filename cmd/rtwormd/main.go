@@ -49,6 +49,11 @@ func run(argv []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "recompute worker goroutines (0: GOMAXPROCS)")
 	routerLatency := fs.Int("router-latency", 0, "per-hop router latency added to each stream's network latency")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout (0: unlimited)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0: unlimited)")
+	mutQueue := fs.Int("mutation-queue", 256, "bounded mutation queue depth; extra mutations shed with 429 (0: unbounded)")
+	queueWait := fs.Duration("queue-wait", time.Second, "longest a mutation waits for a queue slot before 429")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429, rounded up to whole seconds")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -83,7 +88,15 @@ func run(argv []string, out io.Writer) error {
 		}
 	}
 
-	srv, err := server.New(server.Config{Controller: ctl, SnapshotPath: *snapshot})
+	srv, err := server.New(server.Config{
+		Controller:         ctl,
+		SnapshotPath:       *snapshot,
+		MaxQueuedMutations: *mutQueue,
+		QueueWait:          *queueWait,
+		RetryAfter:         *retryAfter,
+		WriteTimeout:       *writeTimeout,
+		IdleTimeout:        *idleTimeout,
+	})
 	if err != nil {
 		return err
 	}

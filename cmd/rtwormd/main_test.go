@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/admit"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+func writeSnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	topo, err := stream.TopologySpec{Kind: "mesh2d", W: 10, H: 10}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := admit.New(topo, admit.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []admit.Spec{
+		{Src: 37, Dst: 77, Priority: 5, Period: 15, Length: 4},
+		{Src: 11, Dst: 45, Priority: 4, Period: 10, Length: 2},
+	}
+	for _, sp := range specs {
+		if _, err := ctl.Admit(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "state.json")
+	if err := server.SaveSnapshot(ctl, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBootRejectsTruncatedSnapshot pins the boot-failure contract: a
+// snapshot cut off mid-write must refuse to boot with an error that
+// names the file and says it is corrupt or truncated — not a panic,
+// not a silently empty daemon.
+func TestBootRejectsTruncatedSnapshot(t *testing.T) {
+	path := writeSnapshot(t, t.TempDir())
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, doc[:len(doc)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err = run([]string{"-snapshot", path}, io.Discard)
+	if err == nil {
+		t.Fatal("boot accepted a truncated snapshot")
+	}
+	for _, want := range []string{path, "corrupt or truncated"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestBootRejectsInfeasibleSnapshot: a hand-edited snapshot whose
+// traffic fails the feasibility test is refused, and the error names
+// the offending stream and handle so the operator can repair the file.
+func TestBootRejectsInfeasibleSnapshot(t *testing.T) {
+	// The worked infeasible pair: the second stream's tight period and
+	// high priority index cannot meet its deadline next to the first.
+	sn := admit.Snapshot{
+		Topology:   stream.TopologySpec{Kind: "mesh2d", W: 10, H: 10},
+		NextHandle: 3,
+		Streams: []admit.SnapshotStream{
+			{Handle: 1, Src: 0, Dst: 3, Priority: 1, Period: 60, Length: 6},
+			{Handle: 2, Src: 0, Dst: 5, Priority: 9, Period: 8, Length: 8, Deadline: 2000},
+		},
+	}
+	doc, err := json.Marshal(&sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err = run([]string{"-snapshot", path}, io.Discard)
+	if err == nil {
+		t.Fatal("boot accepted an infeasible snapshot")
+	}
+	// The analysis blames the low-priority stream: the tight period-8
+	// stream preempts it past its deadline.
+	for _, want := range []string{"infeasible", "handle 1", "0->3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestBootRequiresTopology: no snapshot to restore and no -topo is a
+// configuration error, reported before any listener opens.
+func TestBootRequiresTopology(t *testing.T) {
+	err := run(nil, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-topo is required") {
+		t.Fatalf("err = %v", err)
+	}
+	err = run([]string{"-topo", `{"kind":"klein-bottle"}`}, io.Discard)
+	if err == nil {
+		t.Fatal("bad topology accepted")
+	}
+}

@@ -1,0 +1,285 @@
+// Command rtwormload is the open-loop load/soak harness for rtwormd:
+// it replays a deterministic admit/withdraw/job schedule against a
+// live daemon, measures per-endpoint latency without coordinated
+// omission, optionally kills and restarts the daemon mid-run (chaos),
+// and judges the run against an SLO. The report is machine-readable
+// JSON; -check turns SLO violations into a nonzero exit.
+//
+// Three targeting modes:
+//
+//	rtwormload -ops 500 -rate 200                 # self: hermetic in-process daemon
+//	rtwormload -target http://host:8080           # attach to an external daemon (no chaos)
+//	rtwormload -exec 'rtwormd -addr 127.0.0.1:9090 -topo ... -snapshot s.json' \
+//	           -target http://127.0.0.1:9090      # managed subprocess (chaos-capable)
+//
+// See docs/LOADTEST.md for the full walkthrough.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtwormload:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus os.Exit, so tests can drive every mode.
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rtwormload", flag.ContinueOnError)
+
+	// Schedule shape.
+	ops := fs.Int("ops", 500, "total operations to replay")
+	rate := fs.Float64("rate", 200, "offered load, operations per second (Poisson arrivals)")
+	seed := fs.Int64("seed", 1, "schedule seed; same seed, same traffic")
+	withdrawFrac := fs.Float64("withdraw-frac", 0.3, "fraction of ops that withdraw a live stream")
+	reportFrac := fs.Float64("report-frac", 0.1, "fraction of ops that read /v1/report")
+	jobSize := fs.Int("job-size", 1, "admissions per atomic job batch (>1 uses /v1/jobs)")
+	pool := fs.Int("pool", 40, "stream-spec pool size the schedule draws from")
+	plevels := fs.Int("plevels", 8, "priority levels in the generated pool")
+	unordered := fs.Bool("unordered", false, "drop mutation-ordering deps: mutations race freely, analysis rejections become possible")
+
+	// Runner / client pool.
+	clients := fs.Int("clients", 4, "concurrent client workers")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-attempt HTTP timeout")
+	attempts := fs.Int("attempts", 4, "attempts per operation (retries on 429 and transport errors)")
+	backoff := fs.Duration("backoff", 10*time.Millisecond, "base retry backoff (doubles per attempt)")
+	backoffCap := fs.Duration("backoff-cap", 2*time.Second, "backoff ceiling; a larger Retry-After still wins")
+
+	// Target selection.
+	target := fs.String("target", "", "base URL of an external daemon (empty: boot one in-process)")
+	execCmd := fs.String("exec", "", "daemon command to spawn and manage (space-separated; needs -target for its URL)")
+
+	// Self-mode daemon knobs (mirror rtwormd's flags).
+	topoJSON := fs.String("topo", `{"kind":"mesh2d","w":10,"h":10}`, "self mode: topology spec JSON")
+	snapshot := fs.String("snapshot", "", "self mode: snapshot path (empty: temp file, removed after the run)")
+	mutQueue := fs.Int("queue", 256, "self mode: bounded mutation queue depth (0: unbounded)")
+	queueWait := fs.Duration("queue-wait", time.Second, "self mode: longest a mutation waits for a queue slot before 429")
+	retryAfter := fs.Duration("retry-after", time.Second, "self mode: Retry-After hint on 429")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "self mode: http.Server WriteTimeout")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "self mode: http.Server IdleTimeout")
+
+	// Chaos.
+	chaos := fs.Bool("chaos", false, "kill and restart the daemon mid-run, verify snapshot-restore convergence")
+	chaosAt := fs.Duration("chaos-at", 0, "schedule offset of the kill (0: half the horizon)")
+	chaosDown := fs.Duration("chaos-down", 50*time.Millisecond, "downtime between kill and restart")
+
+	// SLO.
+	sloP50 := fs.Int("slo-p50", 0, "p50 open-loop latency bound, microseconds (0: unchecked)")
+	sloP99 := fs.Int("slo-p99", 0, "p99 open-loop latency bound, microseconds (0: unchecked)")
+	sloP999 := fs.Int("slo-p999", 0, "p999 open-loop latency bound, microseconds (0: unchecked)")
+	sloErrors := fs.Float64("slo-errors", 0, "error budget, errors/executed (negative: unchecked)")
+	sloShed := fs.Float64("slo-shed", -1, "shed budget, sheds/executed (negative: unchecked)")
+
+	// Output.
+	outPath := fs.String("o", "", "write the JSON report here (empty: stdout)")
+	check := fs.Bool("check", false, "exit nonzero when any SLO check fails")
+
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	scfg := loadgen.DefaultScheduleConfig(*ops, *rate, *seed)
+	scfg.WithdrawFrac = *withdrawFrac
+	scfg.ReportFrac = *reportFrac
+	scfg.JobSize = *jobSize
+	scfg.Workload.Streams = *pool
+	scfg.Workload.PLevels = *plevels
+	scfg.Unordered = *unordered
+	sched, err := loadgen.BuildSchedule(scfg)
+	if err != nil {
+		return err
+	}
+
+	tgt, cleanup, err := buildTarget(*target, *execCmd, selfConfig{
+		topoJSON:     *topoJSON,
+		snapshot:     *snapshot,
+		mutQueue:     *mutQueue,
+		queueWait:    *queueWait,
+		retryAfter:   *retryAfter,
+		writeTimeout: *writeTimeout,
+		idleTimeout:  *idleTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	rcfg := loadgen.Config{
+		Clients:        *clients,
+		RequestTimeout: *timeout,
+		MaxAttempts:    *attempts,
+		BackoffBase:    *backoff,
+		BackoffCap:     *backoffCap,
+		SLO: loadgen.SLO{
+			P50US:        *sloP50,
+			P99US:        *sloP99,
+			P999US:       *sloP999,
+			MaxErrorFrac: *sloErrors,
+			MaxShedFrac:  *sloShed,
+		},
+	}
+	if *chaos {
+		at := *chaosAt
+		if at <= 0 {
+			at = sched.Horizon / 2
+		}
+		rcfg.Chaos = &loadgen.ChaosConfig{After: at, Downtime: *chaosDown}
+	}
+
+	rep, err := loadgen.NewRunner(rcfg, tgt).Run(sched)
+	if err != nil {
+		return err
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep.Summary())
+	} else if _, err := out.Write(doc); err != nil {
+		return err
+	}
+	if *check && !rep.Pass {
+		return fmt.Errorf("SLO check failed (%d checks, see report)", len(rep.Checks))
+	}
+	return nil
+}
+
+// selfConfig carries the self-mode daemon knobs into buildTarget.
+type selfConfig struct {
+	topoJSON     string
+	snapshot     string
+	mutQueue     int
+	queueWait    time.Duration
+	retryAfter   time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+}
+
+// buildTarget resolves the three targeting modes. The returned cleanup
+// stops whatever the mode started (never nil).
+func buildTarget(target, execCmd string, self selfConfig) (loadgen.Target, func(), error) {
+	nop := func() {}
+	switch {
+	case execCmd != "":
+		if target == "" {
+			return nil, nop, fmt.Errorf("-exec needs -target with the spawned daemon's base URL")
+		}
+		argv := strings.Fields(execCmd)
+		et := &execTarget{argv: argv, url: target}
+		if err := et.Restart(); err != nil {
+			return nil, nop, err
+		}
+		//rtwlint:ignore errdrop best-effort teardown at exit; the process is going away
+		return et, func() { _ = et.Kill() }, nil
+	case target != "":
+		return loadgen.StaticTarget(target), nop, nil
+	default:
+		var ts stream.TopologySpec
+		if err := json.Unmarshal([]byte(self.topoJSON), &ts); err != nil {
+			return nil, nop, fmt.Errorf("-topo: %w", err)
+		}
+		snap := self.snapshot
+		cleanup := nop
+		if snap == "" {
+			dir, err := os.MkdirTemp("", "rtwormload")
+			if err != nil {
+				return nil, nop, err
+			}
+			snap = filepath.Join(dir, "state.json")
+			cleanup = func() { _ = os.RemoveAll(dir) }
+		}
+		d, err := loadgen.StartInProc(loadgen.InProcConfig{
+			Topology:           ts,
+			SnapshotPath:       snap,
+			MaxQueuedMutations: self.mutQueue,
+			QueueWait:          self.queueWait,
+			RetryAfter:         self.retryAfter,
+			WriteTimeout:       self.writeTimeout,
+			IdleTimeout:        self.idleTimeout,
+		})
+		if err != nil {
+			cleanup()
+			return nil, nop, err
+		}
+		prev := cleanup
+		return d, func() {
+			//rtwlint:ignore errdrop best-effort teardown at exit; the process is going away
+			_ = d.Kill()
+			prev()
+		}, nil
+	}
+}
+
+// execTarget manages an external daemon subprocess. Kill is a hard
+// SIGKILL — the crash the chaos mode wants — and Restart re-execs the
+// same command line, relying on the daemon's snapshot for state.
+type execTarget struct {
+	argv []string
+	url  string
+	cmd  *exec.Cmd
+}
+
+func (t *execTarget) URL() string { return t.url }
+
+func (t *execTarget) Kill() error {
+	if t.cmd == nil || t.cmd.Process == nil {
+		return nil
+	}
+	if err := t.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	_ = t.cmd.Wait() // reap; a SIGKILL exit status is expected
+	t.cmd = nil
+	return nil
+}
+
+func (t *execTarget) Restart() error {
+	cmd := exec.Command(t.argv[0], t.argv[1:]...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("exec %s: %w", t.argv[0], err)
+	}
+	t.cmd = cmd
+	return waitHealthy(t.url, 10*time.Second)
+}
+
+// waitHealthy polls /healthz until the daemon answers 200.
+func waitHealthy(url string, timeout time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy after %v", url, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/stream"
+)
+
+// TestRunSelfMode drives the whole CLI in hermetic self mode: a small
+// deterministic run must pass its SLO checks and emit a parseable
+// report.
+func TestRunSelfMode(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "report.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-ops", "60", "-rate", "1500", "-seed", "3",
+		"-clients", "4",
+		"-slo-errors", "0", "-slo-shed", "0",
+		"-check",
+		"-o", outFile,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Totals.Sent != 60 || !rep.Pass {
+		t.Fatalf("report: sent=%d pass=%v checks=%+v", rep.Totals.Sent, rep.Pass, rep.Checks)
+	}
+	if !strings.Contains(buf.String(), "loadgen:") {
+		t.Fatalf("summary missing from output: %q", buf.String())
+	}
+}
+
+// TestRunSelfModeChaos exercises the chaos flag end to end against the
+// in-process daemon.
+func TestRunSelfModeChaos(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-ops", "50", "-rate", "1200", "-seed", "9",
+		"-chaos", "-chaos-down", "20ms",
+		"-slo-errors", "0",
+		"-check",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Chaos == nil || !rep.Chaos.ReportMatch {
+		t.Fatalf("chaos result: %+v", rep.Chaos)
+	}
+}
+
+// TestRunTargetMode attaches to an externally managed daemon via
+// -target.
+func TestRunTargetMode(t *testing.T) {
+	d, err := loadgen.StartInProc(loadgen.InProcConfig{
+		Topology:     stream.TopologySpec{Kind: "mesh2d", W: 10, H: 10},
+		SnapshotPath: filepath.Join(t.TempDir(), "state.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Kill() })
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-ops", "40", "-rate", "1500", "-seed", "5",
+		"-target", d.URL(),
+		"-slo-errors", "0", "-check",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Errors != 0 || !rep.Pass {
+		t.Fatalf("target-mode run: %+v", rep.Totals)
+	}
+}
+
+// TestRunCheckFailsOnViolatedSLO pins that -check turns a violated SLO
+// into a nonzero exit: a p50 bound of 1us is unmeetable.
+func TestRunCheckFailsOnViolatedSLO(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-ops", "30", "-rate", "2000", "-seed", "2",
+		"-slo-p50", "1",
+		"-check",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "SLO check failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunFlagErrors covers the argument-validation paths.
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-exec", "rtwormd"}, // -exec without -target
+		{"-topo", "{"},       // bad topology JSON
+		{"-ops", "0"},        // invalid schedule
+		{"-withdraw-frac", "0.9", "-report-frac", "0.5"},
+	}
+	for _, argv := range cases {
+		var buf bytes.Buffer
+		if err := run(argv, &buf); err == nil {
+			t.Fatalf("argv %v accepted", argv)
+		}
+	}
+}

@@ -102,10 +102,18 @@ func Restore(sn *Snapshot, cfg Config) (*Controller, error) {
 	}
 	res, err := c.AdmitBatch(specs)
 	if err != nil {
+		// AdmitBatch's "candidate %d" indexes specs, which is the
+		// snapshot's stream order — the error already names the stream.
 		return nil, fmt.Errorf("admit: restore: %w", err)
 	}
 	if !res.Admitted {
-		return nil, fmt.Errorf("admit: restore: snapshot traffic infeasible: %s", res.Rejection)
+		rej := res.Rejection
+		who := fmt.Sprintf("stream %d", rej.Stream)
+		if i := int(rej.Stream); i >= 0 && i < len(sn.Streams) {
+			ss := sn.Streams[i]
+			who = fmt.Sprintf("stream %d (handle %d, %d->%d)", i, ss.Handle, ss.Src, ss.Dst)
+		}
+		return nil, fmt.Errorf("admit: restore: snapshot traffic infeasible at %s: %s", who, rej)
 	}
 	// Reinstate the recorded handles over the freshly assigned ones.
 	c.mu.Lock()

@@ -1,0 +1,603 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/hist"
+	"repro/internal/server"
+)
+
+// Config tunes a Runner. The zero value is completed by defaults in
+// NewRunner.
+type Config struct {
+	// Clients is the worker-pool width: at most this many requests are
+	// in flight at once. The schedule's send times are open-loop; when
+	// every client is busy, dispatched ops queue and their measured
+	// latency includes the wait (no coordinated omission).
+	Clients int
+	// RequestTimeout bounds one HTTP attempt (default 5s).
+	RequestTimeout time.Duration
+	// MaxAttempts is the total tries per operation, the first included
+	// (default 4). Retries happen on 429 (honoring Retry-After) and on
+	// transport errors (the chaos window).
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the exponential backoff between
+	// attempts (defaults 10ms and 2s). The wait is
+	// max(min(base<<attempt, cap), Retry-After): the cap bounds the
+	// exponential part, the server's Retry-After is always honored in
+	// full.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// SLO is evaluated into the report's checks.
+	SLO SLO
+	// Chaos, when set, kills and restarts the target mid-run.
+	Chaos *ChaosConfig
+}
+
+// ChaosConfig schedules one kill/restart cycle.
+type ChaosConfig struct {
+	// After is the schedule offset at which to strike. The runner
+	// quiesces first — it stops dispatching and lets in-flight ops
+	// drain — so the pre-kill report is the exact committed state and
+	// the post-restore comparison can demand byte identity.
+	After time.Duration
+	// Downtime separates the kill from the restart (default 50ms).
+	Downtime time.Duration
+	// HealthTimeout bounds the wait for the restarted daemon to answer
+	// /healthz (default 10s).
+	HealthTimeout time.Duration
+}
+
+// Runner replays schedules against a target.
+type Runner struct {
+	cfg    Config
+	target Target
+	client *http.Client
+
+	mu      sync.Mutex
+	handles map[int][]admit.Handle // admit/job op seq -> returned handles
+	settled map[int]chan struct{}  // admit/job op seq -> closed at final outcome
+	mirror  map[admit.Handle]bool  // client-side view of committed streams
+	tainted bool                   // an ambiguous outcome made the mirror unreliable
+}
+
+// NewRunner builds a runner over the target, filling config defaults.
+func NewRunner(cfg Config, target Target) *Runner {
+	if cfg.Clients < 1 {
+		cfg.Clients = 4
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.BackoffCap < cfg.BackoffBase {
+		cfg.BackoffCap = 2 * time.Second
+	}
+	if cfg.Chaos != nil {
+		c := *cfg.Chaos
+		if c.Downtime <= 0 {
+			c.Downtime = 50 * time.Millisecond
+		}
+		if c.HealthTimeout <= 0 {
+			c.HealthTimeout = 10 * time.Second
+		}
+		cfg.Chaos = &c
+	}
+	return &Runner{
+		cfg:     cfg,
+		target:  target,
+		client:  &http.Client{Timeout: cfg.RequestTimeout},
+		handles: map[int][]admit.Handle{},
+		settled: map[int]chan struct{}{},
+		mirror:  map[admit.Handle]bool{},
+	}
+}
+
+// outcome classifies one operation's final state.
+type outcome int
+
+const (
+	outcomeOK       outcome = iota // 2xx
+	outcomeRejected                // 409 — the analysis said no
+	outcomeShed                    // 429 through every attempt — backpressure
+	outcomeError                   // transport error or 5xx through every attempt
+	outcomeSkipped                 // withdraw whose admit never yielded a handle
+	outcomeDegraded                // 500 with committed:true — state moved, snapshot didn't
+)
+
+// workerStats accumulates one worker's observations; workers never
+// share them, so recording is lock-free and the runner merges at the
+// end (hist.H supports Merge).
+type workerStats struct {
+	counts [4]opCounts
+	sched  [4]hist.H // scheduled-send → final response, µs
+	svc    [4]hist.H // first byte out → final response, µs
+}
+
+type opCounts struct {
+	sent, ok, rejected, shed, errors, skipped, degraded, retries int64
+}
+
+// Run replays the schedule and returns the report. The error covers
+// harness failures (chaos hooks, unreachable target for the pre/post
+// reports); per-op failures land in the report instead.
+func (r *Runner) Run(sched *Schedule) (*Report, error) {
+	if len(sched.Ops) == 0 {
+		return nil, fmt.Errorf("loadgen: empty schedule")
+	}
+	// Release pooled sockets once the run is over: a keep-alive
+	// connection the transport dialed but never used sits in StateNew
+	// server-side, and net/http's graceful Shutdown stalls on those for
+	// ~5s before aging them out.
+	defer r.client.CloseIdleConnections()
+	opCh := make(chan dispatched, len(sched.Ops))
+	var inflight sync.WaitGroup
+	var workerWG sync.WaitGroup
+	stats := make([]*workerStats, r.cfg.Clients)
+	for w := range stats {
+		ws := &workerStats{}
+		stats[w] = ws
+		workerWG.Add(1)
+		go func(ws *workerStats) {
+			defer workerWG.Done()
+			for d := range opCh {
+				r.execute(d, ws)
+				inflight.Done()
+			}
+		}(ws)
+	}
+
+	start := time.Now()
+	var chaosRes *ChaosResult
+	var chaosErr error
+	shift := time.Duration(0)
+	for _, op := range sched.Ops {
+		if r.cfg.Chaos != nil && chaosRes == nil && op.At >= r.cfg.Chaos.After {
+			inflight.Wait() // quiesce: the daemon holds exactly the committed state
+			pause := time.Now()
+			chaosRes, chaosErr = r.runChaos(time.Since(start))
+			if chaosErr != nil {
+				break
+			}
+			shift += time.Since(pause)
+		}
+		if d := time.Until(start.Add(op.At + shift)); d > 0 {
+			time.Sleep(d)
+		}
+		inflight.Add(1)
+		opCh <- dispatched{op: op, scheduledAt: start.Add(op.At + shift)}
+	}
+	close(opCh)
+	workerWG.Wait()
+	wall := time.Since(start)
+	if chaosErr != nil {
+		return nil, chaosErr
+	}
+
+	rep := r.buildReport(sched, stats, wall, chaosRes)
+	r.verify(rep)
+	rep.Checks, rep.Pass = r.cfg.SLO.Evaluate(rep)
+	return rep, nil
+}
+
+// dispatched pairs an op with its effective open-loop send time (the
+// chaos pause shifts later ops so the offered rate is preserved).
+type dispatched struct {
+	op          Op
+	scheduledAt time.Time
+}
+
+// execute runs one operation to its final outcome, retrying per the
+// backoff policy, and records it into ws.
+func (r *Runner) execute(d dispatched, ws *workerStats) {
+	op := d.op
+	k := int(op.Kind)
+	ws.counts[k].sent++
+	// Every op settles at its final outcome, however it ends, so After
+	// dependencies always resolve: deps carry lower seqs, are
+	// dispatched first, and each op's attempts are time-bounded. The
+	// wait is deliberately uncapped — it is the mutation-ordering
+	// contract (see Op.After), not a liveness concern, and any wait
+	// shows up in the open-loop latency.
+	defer r.settle(op.Seq)
+	for _, dep := range op.After {
+		<-r.settledCh(dep)
+	}
+
+	var method, path string
+	var body []byte
+	switch op.Kind {
+	case OpAdmit:
+		method, path = http.MethodPost, "/v1/streams"
+		body = marshalStream(op.Specs[0])
+	case OpJob:
+		method, path = http.MethodPost, "/v1/jobs"
+		body = marshalJob(op.Specs)
+	case OpWithdraw:
+		// Open-loop dispatch can run a withdraw before the admit it
+		// references has answered; wait for that op to settle (bounded)
+		// rather than misreading an in-flight admit as a failed one.
+		h, ok := r.awaitHandle(op.Ref, op.RefIdx, r.cfg.RequestTimeout)
+		if !ok {
+			// The admit this withdraw references was shed, rejected or
+			// errored; there is nothing to delete.
+			ws.counts[k].skipped++
+			return
+		}
+		method, path = http.MethodDelete, fmt.Sprintf("/v1/streams/%d", h)
+	case OpReport:
+		method, path = http.MethodGet, "/v1/report"
+	}
+
+	firstSend := time.Now()
+	out, respBody, retries := r.attempt(method, path, body)
+	done := time.Now()
+	ws.counts[k].retries += int64(retries)
+
+	switch out {
+	case outcomeOK:
+		ws.counts[k].ok++
+		r.recordCommit(op, respBody, false)
+	case outcomeDegraded:
+		ws.counts[k].degraded++
+		r.recordCommit(op, respBody, true)
+	case outcomeRejected:
+		ws.counts[k].rejected++
+	case outcomeShed:
+		ws.counts[k].shed++
+	case outcomeError:
+		ws.counts[k].errors++
+		if op.Kind != OpReport {
+			// A mutation that ended in a transport error or plain 5xx may
+			// or may not have committed; the mirror can no longer vouch
+			// for the daemon's exact stream set.
+			r.taint()
+		}
+	}
+	ws.sched[k].Observe(int(done.Sub(d.scheduledAt).Microseconds()))
+	ws.svc[k].Observe(int(done.Sub(firstSend).Microseconds()))
+}
+
+// reply is one HTTP attempt's result.
+type reply struct {
+	status     int
+	body       []byte
+	retryAfter string // the Retry-After header, verbatim
+}
+
+// attempt drives the retry loop for one operation and returns the
+// final outcome, the final response body, and the retry count.
+func (r *Runner) attempt(method, path string, body []byte) (outcome, []byte, int) {
+	retries := 0
+	for att := 1; ; att++ {
+		rep, err := r.do(method, path, body)
+		var retryAfter time.Duration
+		switch {
+		case err == nil && rep.status/100 == 2:
+			return outcomeOK, rep.body, retries
+		case err == nil && rep.status == http.StatusConflict:
+			return outcomeRejected, rep.body, retries
+		case err == nil && rep.status == http.StatusTooManyRequests:
+			if att >= r.cfg.MaxAttempts {
+				return outcomeShed, rep.body, retries
+			}
+			if ra, ok := ParseRetryAfter(rep.retryAfter); ok {
+				retryAfter = ra
+			}
+		case err == nil && rep.status == http.StatusInternalServerError && isCommitted(rep.body):
+			// The mutation took hold; only its snapshot write failed.
+			return outcomeDegraded, rep.body, retries
+		case err == nil && rep.status/100 == 4:
+			// Malformed request or unknown handle: retrying cannot help.
+			return outcomeError, rep.body, retries
+		default: // transport error or 5xx: retry into the chaos window
+			if att >= r.cfg.MaxAttempts {
+				return outcomeError, rep.body, retries
+			}
+		}
+		time.Sleep(RetryDelay(att, r.cfg.BackoffBase, r.cfg.BackoffCap, retryAfter))
+		retries++
+	}
+}
+
+// do performs one HTTP attempt (transport errors return err).
+func (r *Runner) do(method, path string, body []byte) (reply, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, r.target.URL()+path, rd)
+	if err != nil {
+		return reply{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return reply{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return reply{status: resp.StatusCode}, err
+	}
+	return reply{
+		status:     resp.StatusCode,
+		body:       data,
+		retryAfter: resp.Header.Get("Retry-After"),
+	}, nil
+}
+
+// RetryDelay is the backoff policy: exponential from base, capped at
+// cap, but never less than the server's Retry-After hint — honoring
+// the hint wins over the cap, because the server knows its queue.
+// attempt counts from 1 (the attempt that just failed).
+func RetryDelay(attempt int, base, cap, retryAfter time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= cap {
+			d = cap
+			break
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// ParseRetryAfter parses an HTTP Retry-After value in its
+// delay-seconds form (RFC 9110 §10.2.3).
+func ParseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// isCommitted reports whether an error body carries "committed": true
+// — the mutation happened, only its snapshot write failed.
+func isCommitted(body []byte) bool {
+	var er server.ErrorResponse
+	return json.Unmarshal(body, &er) == nil && er.Committed
+}
+
+// recordCommit folds a successful (or committed-degraded) mutation
+// into the handle table and the mirror.
+func (r *Runner) recordCommit(op Op, body []byte, degraded bool) {
+	switch op.Kind {
+	case OpAdmit, OpJob:
+		if degraded {
+			// Committed, but the 500 body carries no handles: the mirror
+			// knows a stream exists that it cannot name.
+			r.taint()
+			return
+		}
+		var ar server.AdmitResponse
+		if err := json.Unmarshal(body, &ar); err != nil || len(ar.Handles) == 0 {
+			r.taint()
+			return
+		}
+		r.mu.Lock()
+		r.handles[op.Seq] = ar.Handles
+		for _, h := range ar.Handles {
+			r.mirror[h] = true
+		}
+		r.mu.Unlock()
+	case OpWithdraw:
+		h, ok := r.handleFor(op.Ref, op.RefIdx)
+		if !ok {
+			return
+		}
+		r.mu.Lock()
+		delete(r.mirror, h)
+		r.mu.Unlock()
+	}
+}
+
+func (r *Runner) handleFor(seq, idx int) (admit.Handle, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hs, ok := r.handles[seq]
+	if !ok || idx >= len(hs) {
+		return 0, false
+	}
+	return hs[idx], true
+}
+
+// settledCh returns the (lazily created) channel that closes when the
+// admit/job op seq reaches its final outcome.
+func (r *Runner) settledCh(seq int) chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch, ok := r.settled[seq]
+	if !ok {
+		ch = make(chan struct{})
+		r.settled[seq] = ch
+	}
+	return ch
+}
+
+// settle marks an admit/job op final, waking any withdraw waiting on
+// its handles.
+func (r *Runner) settle(seq int) {
+	close(r.settledCh(seq))
+}
+
+// awaitHandle resolves the idx-th handle of admit/job op seq, waiting
+// up to timeout for that op to settle first.
+func (r *Runner) awaitHandle(seq, idx int, timeout time.Duration) (admit.Handle, bool) {
+	select {
+	case <-r.settledCh(seq):
+	case <-time.After(timeout):
+		return 0, false
+	}
+	return r.handleFor(seq, idx)
+}
+
+func (r *Runner) taint() {
+	r.mu.Lock()
+	r.tainted = true
+	r.mu.Unlock()
+}
+
+// runChaos executes the kill/restart cycle. The caller has quiesced:
+// no request is in flight, so the daemon's report equals its committed
+// state and the snapshot on disk equals both.
+func (r *Runner) runChaos(at time.Duration) (*ChaosResult, error) {
+	pre, preCount, err := r.fetchReport()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: chaos pre-kill report: %w", err)
+	}
+	if err := r.target.Kill(); err != nil {
+		return nil, fmt.Errorf("loadgen: chaos kill: %w", err)
+	}
+	time.Sleep(r.cfg.Chaos.Downtime)
+	restartAt := time.Now()
+	if err := r.target.Restart(); err != nil {
+		return nil, fmt.Errorf("loadgen: chaos restart: %w", err)
+	}
+	if err := r.awaitHealthy(r.cfg.Chaos.HealthTimeout); err != nil {
+		return nil, fmt.Errorf("loadgen: chaos recovery: %w", err)
+	}
+	recovery := time.Since(restartAt)
+	post, postCount, err := r.fetchReport()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: chaos post-restore report: %w", err)
+	}
+	return &ChaosResult{
+		InjectedAtMS: at.Milliseconds(),
+		DowntimeMS:   r.cfg.Chaos.Downtime.Milliseconds(),
+		RecoveryUS:   recovery.Microseconds(),
+		ReportMatch:  bytes.Equal(pre, post),
+		PreStreams:   preCount,
+		PostStreams:  postCount,
+	}, nil
+}
+
+// fetchReport reads /v1/report raw (for byte comparison) and parses
+// the stream count out of it.
+func (r *Runner) fetchReport() ([]byte, int, error) {
+	resp, err := r.do(http.MethodGet, "/v1/report", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.status != http.StatusOK {
+		return nil, 0, fmt.Errorf("status %d", resp.status)
+	}
+	var rep struct {
+		Streams int `json:"streams"`
+	}
+	if err := json.Unmarshal(resp.body, &rep); err != nil {
+		return nil, 0, err
+	}
+	return resp.body, rep.Streams, nil
+}
+
+// awaitHealthy polls /healthz until it answers 200.
+func (r *Runner) awaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := r.do(http.MethodGet, "/healthz", nil)
+		if err == nil && resp.status == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon not healthy after %v: %w", timeout, err)
+			}
+			return fmt.Errorf("daemon not healthy after %v: status %d", timeout, resp.status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// verify compares the mirror against the daemon's live stream list and
+// fills rep.Verification. Skipped when an ambiguous outcome tainted
+// the mirror.
+func (r *Runner) verify(rep *Report) {
+	r.mu.Lock()
+	tainted := r.tainted
+	want := make(map[admit.Handle]bool, len(r.mirror))
+	for h := range r.mirror {
+		want[h] = true
+	}
+	r.mu.Unlock()
+	if tainted {
+		return
+	}
+	resp, err := r.do(http.MethodGet, "/v1/streams", nil)
+	if err != nil || resp.status != http.StatusOK {
+		return
+	}
+	var list struct {
+		Streams []struct {
+			Handle admit.Handle `json:"handle"`
+		} `json:"streams"`
+	}
+	if err := json.Unmarshal(resp.body, &list); err != nil {
+		return
+	}
+	rep.Verification.Checked = true
+	for _, s := range list.Streams {
+		if want[s.Handle] {
+			delete(want, s.Handle)
+		} else {
+			rep.Verification.Extra++
+		}
+	}
+	rep.Verification.Missing = len(want)
+	rep.Verification.Match = rep.Verification.Missing == 0 && rep.Verification.Extra == 0
+}
+
+func marshalStream(sp admit.Spec) []byte {
+	return marshalJSON(server.StreamRequest{
+		Src: int(sp.Src), Dst: int(sp.Dst),
+		Priority: sp.Priority, Period: sp.Period,
+		Length: sp.Length, Deadline: sp.Deadline,
+	})
+}
+
+func marshalJob(specs []admit.Spec) []byte {
+	req := server.JobRequest{Name: "loadgen", Streams: make([]server.StreamRequest, len(specs))}
+	for i, sp := range specs {
+		req.Streams[i] = server.StreamRequest{
+			Src: int(sp.Src), Dst: int(sp.Dst),
+			Priority: sp.Priority, Period: sp.Period,
+			Length: sp.Length, Deadline: sp.Deadline,
+		}
+	}
+	return marshalJSON(req)
+}
+
+func marshalJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// The request types marshal by construction; a failure here is a
+		// programming error.
+		panic(fmt.Sprintf("loadgen: marshal: %v", err))
+	}
+	return data
+}

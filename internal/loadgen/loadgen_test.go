@@ -1,0 +1,266 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/stream"
+)
+
+func mesh10() stream.TopologySpec {
+	return stream.TopologySpec{Kind: "mesh2d", W: 10, H: 10}
+}
+
+func startDaemon(t *testing.T, cfg InProcConfig) *InProc {
+	t.Helper()
+	if cfg.Topology.Kind == "" {
+		cfg.Topology = mesh10()
+	}
+	d, err := StartInProc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		// 10s: graceful Shutdown can take ~5s to age out a conn the
+		// client dialed but never used (net/http StateNew handling).
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := d.Stop(ctx); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	})
+	return d
+}
+
+// TestRunCleanProfile drives a mixed schedule against a healthy
+// daemon: every operation lands, nothing is shed, and the client-side
+// mirror matches the daemon's final stream list exactly.
+func TestRunCleanProfile(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.json")
+	d := startDaemon(t, InProcConfig{SnapshotPath: snap})
+
+	sched, err := BuildSchedule(DefaultScheduleConfig(150, 2000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(Config{Clients: 6}, d)
+	rep, err := r.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tt := rep.Totals
+	if tt.Sent != 150 {
+		t.Fatalf("sent %d", tt.Sent)
+	}
+	if tt.Errors != 0 || tt.Shed != 0 || tt.Rejected != 0 {
+		t.Fatalf("clean run had failures: %+v", tt)
+	}
+	if tt.OK+tt.Skipped != tt.Sent {
+		t.Fatalf("outcome accounting: %+v", tt)
+	}
+	if !rep.Verification.Checked || !rep.Verification.Match {
+		t.Fatalf("mirror verification: %+v", rep.Verification)
+	}
+	if rep.GoodputOPS <= 0 || rep.WallMS <= 0 {
+		t.Fatalf("throughput: %+v", rep)
+	}
+	if tt.Sched.Count != tt.Sent-tt.Skipped {
+		t.Fatalf("latency count %d for %d executed", tt.Sched.Count, tt.Sent-tt.Skipped)
+	}
+	if !rep.Pass {
+		t.Fatalf("zero SLO should pass: %+v", rep.Checks)
+	}
+	// The daemon really holds what the mirror says: its length equals
+	// mirror size.
+	if got := d.Server().InFlight(); got != 0 {
+		t.Fatalf("in-flight after run: %d", got)
+	}
+}
+
+// TestRunChaosRestoreConverges kills the daemon mid-run and restarts
+// it from its snapshot: the post-restore report must be byte-identical
+// to the pre-kill one, and the run must still end with a consistent
+// mirror.
+func TestRunChaosRestoreConverges(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.json")
+	d := startDaemon(t, InProcConfig{SnapshotPath: snap})
+
+	sched, err := BuildSchedule(DefaultScheduleConfig(120, 1500, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(Config{
+		Clients: 4,
+		Chaos:   &ChaosConfig{After: sched.Horizon / 2, Downtime: 30 * time.Millisecond},
+	}, d)
+	rep, err := r.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chaos == nil {
+		t.Fatal("chaos did not run")
+	}
+	if !rep.Chaos.ReportMatch {
+		t.Fatalf("post-restore report diverged: %+v", rep.Chaos)
+	}
+	if rep.Chaos.PreStreams != rep.Chaos.PostStreams {
+		t.Fatalf("stream count changed across restore: %+v", rep.Chaos)
+	}
+	if rep.Chaos.RecoveryUS <= 0 {
+		t.Fatalf("recovery time: %+v", rep.Chaos)
+	}
+	if rep.Totals.Errors != 0 {
+		t.Fatalf("quiesced chaos should leave no errors: %+v", rep.Totals)
+	}
+	if !rep.Verification.Checked || !rep.Verification.Match {
+		t.Fatalf("mirror after chaos: %+v", rep.Verification)
+	}
+	if !rep.Pass {
+		t.Fatalf("checks: %+v", rep.Checks)
+	}
+}
+
+// TestRunOverloadShedsNotTimesOut pins the backpressure contract end
+// to end: a daemon with a tiny mutation queue and slow mutations sheds
+// with 429 instead of queueing without bound, the shed requests
+// commit nothing, and every 200 the clients saw is present after the
+// drain — no committed mutation is lost.
+func TestRunOverloadShedsNotTimesOut(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.json")
+	d := startDaemon(t, InProcConfig{
+		SnapshotPath:       snap,
+		MaxQueuedMutations: 2,
+		QueueWait:          2 * time.Millisecond,
+		RetryAfter:         time.Second,
+		MutationDelay:      4 * time.Millisecond,
+	})
+
+	cfg := DefaultScheduleConfig(120, 4000, 23)
+	cfg.ReportFrac = 0   // mutations only: maximum queue pressure
+	cfg.Unordered = true // mutations must race to fill the tiny queue
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(Config{
+		Clients:     8,
+		MaxAttempts: 2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		SLO:         SLO{MaxShedFrac: -1, MaxErrorFrac: 0},
+	}, d)
+	rep, err := r.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Shed == 0 {
+		t.Fatalf("overload run shed nothing: %+v", rep.Totals)
+	}
+	if rep.Totals.Errors != 0 {
+		t.Fatalf("overload produced errors, not clean sheds: %+v", rep.Totals)
+	}
+	// Every committed mutation survived: the mirror (built from 200s
+	// only) matches the daemon exactly.
+	if !rep.Verification.Checked || !rep.Verification.Match {
+		t.Fatalf("committed mutations lost under overload: %+v", rep.Verification)
+	}
+	if !rep.Pass {
+		t.Fatalf("checks: %+v", rep.Checks)
+	}
+}
+
+// TestRetryDelayPolicy pins the backoff math: exponential from base,
+// capped, and the server's Retry-After always honored in full.
+func TestRetryDelayPolicy(t *testing.T) {
+	base, cap := 10*time.Millisecond, 80*time.Millisecond
+	cases := []struct {
+		attempt    int
+		retryAfter time.Duration
+		want       time.Duration
+	}{
+		{1, 0, 10 * time.Millisecond},
+		{2, 0, 20 * time.Millisecond},
+		{3, 0, 40 * time.Millisecond},
+		{4, 0, 80 * time.Millisecond},
+		{10, 0, 80 * time.Millisecond},                    // capped
+		{1, 50 * time.Millisecond, 50 * time.Millisecond}, // header above backoff
+		{3, 30 * time.Millisecond, 40 * time.Millisecond}, // backoff above header
+		{2, 2 * time.Second, 2 * time.Second},             // header beats the cap
+	}
+	for _, c := range cases {
+		if got := RetryDelay(c.attempt, base, cap, c.retryAfter); got != c.want {
+			t.Fatalf("RetryDelay(%d, retryAfter=%v) = %v, want %v", c.attempt, c.retryAfter, got, c.want)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := ParseRetryAfter("3"); !ok || d != 3*time.Second {
+		t.Fatalf("parse 3: %v %v", d, ok)
+	}
+	if d, ok := ParseRetryAfter("0"); !ok || d != 0 {
+		t.Fatalf("parse 0: %v %v", d, ok)
+	}
+	for _, v := range []string{"", "-1", "soon", "1.5"} {
+		if _, ok := ParseRetryAfter(v); ok {
+			t.Fatalf("%q parsed", v)
+		}
+	}
+}
+
+// TestRunnerWaitsOutRetryAfter proves the runner actually sleeps the
+// advertised Retry-After before retrying a 429 — against a stub that
+// sheds the first admit attempt with Retry-After: 1 and accepts the
+// second.
+func TestRunnerWaitsOutRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/streams" {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"streams":[]}`))
+			return
+		}
+		switch calls.Add(1) {
+		case 1:
+			firstAt.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"overloaded"}`))
+		default:
+			secondAt.Store(time.Now().UnixNano())
+			w.Write([]byte(`{"handles":[1],"recomputed":1,"feasible":true}`))
+		}
+	}))
+	defer stub.Close()
+
+	sched := &Schedule{
+		Ops:     []Op{{Seq: 0, Kind: OpAdmit, Specs: []admit.Spec{{Src: 0, Dst: 1, Priority: 1, Period: 50, Length: 4}}}},
+		Horizon: time.Millisecond,
+		Pool:    1,
+	}
+	r := NewRunner(Config{
+		Clients:     1,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond, // far below the header: the header must win
+		BackoffCap:  2 * time.Millisecond,
+	}, StaticTarget(stub.URL))
+	rep, err := r.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.OK != 1 || rep.Totals.Retries != 1 {
+		t.Fatalf("totals: %+v", rep.Totals)
+	}
+	waited := time.Duration(secondAt.Load() - firstAt.Load())
+	if waited < 900*time.Millisecond {
+		t.Fatalf("retried after %v; Retry-After: 1 not honored", waited)
+	}
+}

@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// LatencyStats summarises one latency distribution in microseconds.
+// Quantiles are upper estimates from internal/hist's power-of-two
+// buckets, clamped to the observed maximum.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"meanUS"`
+	P50US  int     `json:"p50US"`
+	P95US  int     `json:"p95US"`
+	P99US  int     `json:"p99US"`
+	P999US int     `json:"p999US"`
+	MaxUS  int     `json:"maxUS"`
+}
+
+func latencyStats(h *hist.H) LatencyStats {
+	ls := LatencyStats{Count: h.Count()}
+	if ls.Count == 0 {
+		return ls
+	}
+	mean := h.Mean()
+	if math.IsNaN(mean) {
+		mean = 0
+	}
+	ls.MeanUS = math.Round(mean*10) / 10
+	ls.P50US = h.Quantile(0.5)
+	ls.P95US = h.Quantile(0.95)
+	ls.P99US = h.Quantile(0.99)
+	ls.P999US = h.Quantile(0.999)
+	ls.MaxUS = h.Max()
+	return ls
+}
+
+// EndpointReport is the per-operation-kind section of the report.
+type EndpointReport struct {
+	Endpoint string `json:"endpoint"`
+	Sent     int64  `json:"sent"`
+	OK       int64  `json:"ok"`
+	Rejected int64  `json:"rejected,omitempty"` // 409: the analysis said no
+	Shed     int64  `json:"shed,omitempty"`     // 429 through every attempt
+	Errors   int64  `json:"errors,omitempty"`   // transport / 5xx through every attempt
+	Skipped  int64  `json:"skipped,omitempty"`  // withdraws whose admit never landed
+	Degraded int64  `json:"degraded,omitempty"` // committed but snapshot write failed
+	Retries  int64  `json:"retries,omitempty"`
+	// Sched measures scheduled-send → final response: the open-loop
+	// latency a client that arrived on time would see, queue wait and
+	// backoff included (free of coordinated omission).
+	Sched LatencyStats `json:"latency"`
+	// Service measures first-byte-out → final response.
+	Service LatencyStats `json:"serviceLatency"`
+}
+
+// ChaosResult is the outcome of the kill/restart cycle.
+type ChaosResult struct {
+	InjectedAtMS int64 `json:"injectedAtMS"`
+	DowntimeMS   int64 `json:"downtimeMS"`
+	// RecoveryUS is the time from the restart call to the first 200 on
+	// /healthz.
+	RecoveryUS int64 `json:"recoveryUS"`
+	// ReportMatch is true when the post-restore /v1/report is
+	// byte-identical to the pre-kill one.
+	ReportMatch bool `json:"reportMatch"`
+	PreStreams  int  `json:"preStreams"`
+	PostStreams int  `json:"postStreams"`
+}
+
+// Verification compares the client-side mirror of committed mutations
+// against the daemon's final stream list.
+type Verification struct {
+	// Checked is false when an ambiguous outcome (a mutation that ended
+	// in a transport error, or a committed-degraded admit with no
+	// handles) made the mirror unreliable.
+	Checked bool `json:"checked"`
+	Match   bool `json:"match"`
+	Missing int  `json:"missing,omitempty"` // committed client-side, absent on the daemon
+	Extra   int  `json:"extra,omitempty"`   // present on the daemon, unknown to the mirror
+}
+
+// Report is the machine-readable outcome of one run.
+type Report struct {
+	Ops     int   `json:"ops"`
+	Clients int   `json:"clients"`
+	Pool    int   `json:"pool"`
+	WallMS  int64 `json:"wallMS"`
+	// OfferedRate is the scheduled open-loop rate, ops/second.
+	OfferedRate float64 `json:"offeredRate"`
+	// GoodputOPS is successful operations per wall-clock second.
+	GoodputOPS float64 `json:"goodputOPS"`
+
+	Endpoints []EndpointReport `json:"endpoints"`
+	Totals    EndpointReport   `json:"totals"`
+
+	Chaos        *ChaosResult `json:"chaos,omitempty"`
+	Verification Verification `json:"verification"`
+
+	Checks []Check `json:"checks,omitempty"`
+	Pass   bool    `json:"pass"`
+}
+
+// buildReport merges the per-worker stats into the final document.
+func (r *Runner) buildReport(sched *Schedule, stats []*workerStats, wall time.Duration, chaos *ChaosResult) *Report {
+	rep := &Report{
+		Ops:     len(sched.Ops),
+		Clients: r.cfg.Clients,
+		Pool:    sched.Pool,
+		WallMS:  wall.Milliseconds(),
+		Chaos:   chaos,
+	}
+	if sched.Horizon > 0 {
+		rep.OfferedRate = round2(float64(len(sched.Ops)) / sched.Horizon.Seconds())
+	}
+
+	var totalCounts opCounts
+	var totalSched, totalSvc hist.H
+	for k := OpAdmit; k <= OpReport; k++ {
+		var c opCounts
+		var hs, hv hist.H
+		for _, ws := range stats {
+			c.add(&ws.counts[k])
+			hs.Merge(&ws.sched[k])
+			hv.Merge(&ws.svc[k])
+		}
+		if c.sent == 0 {
+			continue
+		}
+		rep.Endpoints = append(rep.Endpoints, endpointReport(k.String(), &c, &hs, &hv))
+		totalCounts.add(&c)
+		totalSched.Merge(&hs)
+		totalSvc.Merge(&hv)
+	}
+	rep.Totals = endpointReport("total", &totalCounts, &totalSched, &totalSvc)
+	if wall > 0 {
+		rep.GoodputOPS = round2(float64(totalCounts.ok+totalCounts.degraded) / wall.Seconds())
+	}
+	return rep
+}
+
+func (c *opCounts) add(o *opCounts) {
+	c.sent += o.sent
+	c.ok += o.ok
+	c.rejected += o.rejected
+	c.shed += o.shed
+	c.errors += o.errors
+	c.skipped += o.skipped
+	c.degraded += o.degraded
+	c.retries += o.retries
+}
+
+func endpointReport(name string, c *opCounts, sched, svc *hist.H) EndpointReport {
+	return EndpointReport{
+		Endpoint: name,
+		Sent:     c.sent,
+		OK:       c.ok,
+		Rejected: c.rejected,
+		Shed:     c.shed,
+		Errors:   c.errors,
+		Skipped:  c.skipped,
+		Degraded: c.degraded,
+		Retries:  c.retries,
+		Sched:    latencyStats(sched),
+		Service:  latencyStats(svc),
+	}
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// Summary renders a short human-readable digest of the report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d ops, %d clients, offered %.0f ops/s, goodput %.0f ops/s, wall %dms\n",
+		r.Ops, r.Clients, r.OfferedRate, r.GoodputOPS, r.WallMS)
+	t := r.Totals
+	fmt.Fprintf(&b, "  totals: ok=%d rejected=%d shed=%d errors=%d skipped=%d retries=%d\n",
+		t.OK, t.Rejected, t.Shed, t.Errors, t.Skipped, t.Retries)
+	fmt.Fprintf(&b, "  latency (sched): p50<=%dus p99<=%dus p999<=%dus max=%dus\n",
+		t.Sched.P50US, t.Sched.P99US, t.Sched.P999US, t.Sched.MaxUS)
+	if r.Chaos != nil {
+		fmt.Fprintf(&b, "  chaos: down %dms, recovered in %dus, report match=%v (%d->%d streams)\n",
+			r.Chaos.DowntimeMS, r.Chaos.RecoveryUS, r.Chaos.ReportMatch, r.Chaos.PreStreams, r.Chaos.PostStreams)
+	}
+	if r.Verification.Checked {
+		fmt.Fprintf(&b, "  mirror: match=%v missing=%d extra=%d\n",
+			r.Verification.Match, r.Verification.Missing, r.Verification.Extra)
+	}
+	for _, c := range r.Checks {
+		status := "ok"
+		if !c.Pass {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "  slo %-22s limit %-12g actual %-12g %s\n", c.Name, c.Limit, c.Actual, status)
+	}
+	fmt.Fprintf(&b, "  pass: %v\n", r.Pass)
+	return b.String()
+}

@@ -1,0 +1,303 @@
+// Package loadgen is the open-loop load and soak harness for the
+// rtwormd admission daemon. It turns the daemon's performance and
+// robustness claims — 35µs incremental admits, commit-before-respond,
+// snapshot restore, 429 backpressure — into measured numbers under
+// sustained traffic, connection churn and restart chaos.
+//
+// The pieces:
+//
+//   - a Schedule: a deterministic, seeded sequence of admit / job /
+//     withdraw / report operations with open-loop send times, built
+//     from an internal/workload stream set (so every admit is known
+//     feasible and rejections under load can only come from
+//     backpressure, never from the analysis);
+//   - a Runner: a configurable client pool that fires each operation
+//     at its scheduled time regardless of how the previous ones are
+//     doing (open loop — the latency quantiles therefore include queue
+//     wait and are free of coordinated omission), honors 429
+//     Retry-After with capped exponential backoff, and mirrors every
+//     committed mutation client-side;
+//   - a Target: the daemon under test — an external URL, an
+//     in-process server (InProc), or a managed child process
+//     (cmd/rtwormload) — with Kill/Restart hooks for chaos;
+//   - an SLO: p50/p99/p999 targets and an error budget evaluated into
+//     pass/fail checks inside the final machine-readable Report.
+//
+// See docs/LOADTEST.md for usage.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// OpKind enumerates the operations a schedule can carry.
+type OpKind int
+
+const (
+	// OpAdmit posts one stream to POST /v1/streams.
+	OpAdmit OpKind = iota
+	// OpJob posts a batch to POST /v1/jobs.
+	OpJob
+	// OpWithdraw deletes one previously admitted stream by handle.
+	OpWithdraw
+	// OpReport reads GET /v1/report.
+	OpReport
+)
+
+// String names the kind as it appears in the report.
+func (k OpKind) String() string {
+	switch k {
+	case OpAdmit:
+		return "admit"
+	case OpJob:
+		return "job"
+	case OpWithdraw:
+		return "withdraw"
+	case OpReport:
+		return "report"
+	}
+	return fmt.Sprintf("opkind(%d)", int(k))
+}
+
+// Op is one scheduled operation. At is the open-loop send time as an
+// offset from run start: the runner fires the op then, whether or not
+// earlier ops have completed.
+type Op struct {
+	Seq  int
+	At   time.Duration
+	Kind OpKind
+	// Specs carries the stream(s) to admit (one for OpAdmit, JobSize
+	// for OpJob); nil otherwise.
+	Specs []admit.Spec
+	// Ref and RefIdx identify the handle an OpWithdraw removes: the
+	// RefIdx-th handle returned by the admit/job op with Seq == Ref.
+	Ref    int
+	RefIdx int
+	// After lists op seqs this op causally depends on: an admission
+	// that reuses a spec freed by an earlier withdrawal must not reach
+	// the daemon before that withdrawal completes, or the daemon would
+	// (correctly) refuse the duplicate source. The runner delays the
+	// send, not the open-loop clock — any wait shows up as latency.
+	After []int
+}
+
+// Schedule is a deterministic operation sequence. Replaying the same
+// schedule against the same daemon always offers the same traffic in
+// the same order at the same times.
+type Schedule struct {
+	Ops     []Op
+	Horizon time.Duration // send time of the last op
+	Pool    int           // size of the underlying spec pool
+}
+
+// ScheduleConfig parameterises BuildSchedule.
+type ScheduleConfig struct {
+	// Workload shapes the stream-spec pool (paper §5 geometry by
+	// default).
+	Workload workload.Config
+	// Ops is the total operation count.
+	Ops int
+	// Rate is the offered load in operations per second; inter-arrival
+	// gaps are exponential (Poisson arrivals), drawn from the seed.
+	Rate float64
+	// WithdrawFrac and ReportFrac are the approximate fractions of ops
+	// that withdraw a live stream / read the report; the rest admit.
+	WithdrawFrac float64
+	ReportFrac   float64
+	// JobSize > 1 turns admissions into atomic batches of that size.
+	JobSize int
+	// Seed drives arrival times and op-kind choices. The workload pool
+	// has its own seed inside Workload.
+	Seed int64
+	// Unordered drops the mutation-ordering dependencies (see Op.After)
+	// so mutations race each other freely. The zero-rejection guarantee
+	// evaporates — the analysis is insertion-order sensitive for
+	// equal-priority streams — but overload profiles need concurrent
+	// mutations to fill the daemon's queue, and there the occasional
+	// analysis rejection is irrelevant.
+	Unordered bool
+}
+
+// DefaultScheduleConfig is a paper-shaped mixed workload: a 40-stream
+// pool on the 10×10 mesh, 30% withdrawals, 10% report reads.
+func DefaultScheduleConfig(ops int, rate float64, seed int64) ScheduleConfig {
+	return ScheduleConfig{
+		Workload:     workload.PaperDefaults(40, 8, seed),
+		Ops:          ops,
+		Rate:         rate,
+		WithdrawFrac: 0.3,
+		ReportFrac:   0.1,
+		JobSize:      1,
+		Seed:         seed,
+	}
+}
+
+func (c ScheduleConfig) validate() error {
+	if c.Ops < 1 {
+		return fmt.Errorf("loadgen: %d ops", c.Ops)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("loadgen: non-positive rate %g", c.Rate)
+	}
+	if c.WithdrawFrac < 0 || c.ReportFrac < 0 || c.WithdrawFrac+c.ReportFrac > 1 {
+		return fmt.Errorf("loadgen: op fractions withdraw=%g report=%g", c.WithdrawFrac, c.ReportFrac)
+	}
+	if c.JobSize < 0 {
+		return fmt.Errorf("loadgen: negative job size %d", c.JobSize)
+	}
+	return nil
+}
+
+// liveStream tracks one admitted-but-not-yet-withdrawn stream during
+// schedule construction.
+type liveStream struct {
+	seq    int          // admit/job op that created it
+	idx    int          // handle index within that op
+	spec   int          // pool index, returned to free on withdrawal
+	handle admit.Handle // handle in the builder's replay controller
+}
+
+// BuildSchedule generates the deterministic op sequence. Admissions
+// draw distinct specs from the pool and withdrawals return them, so
+// the live set never holds the same spec twice.
+//
+// Every admission is validated against a replay controller that
+// applies the ops exactly as a client executing them in order would,
+// and specs the analysis refuses at their moment of admission are
+// dropped from the pool for good. The paper's feasibility test is
+// sensitive to the order equal-priority streams were admitted in, so
+// this only transfers to the live daemon if it sees the mutations in
+// schedule order: unless cfg.Unordered is set, every mutation carries
+// an After dependency on the previous mutation, and a healthy run can
+// then only see rejections from backpressure, never from the
+// analysis. Unordered schedules trade that guarantee for genuinely
+// concurrent mutations.
+//
+// When the pool is exhausted the builder withdraws instead; when
+// nothing is live it admits instead; the requested fractions are
+// therefore approximate at the margins.
+func BuildSchedule(cfg ScheduleConfig) (*Schedule, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	set, _, err := workload.Generate(cfg.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: workload: %w", err)
+	}
+	pool := make([]admit.Spec, set.Len())
+	for i, s := range set.Streams {
+		pool[i] = admit.Spec{
+			Src: s.Src, Dst: s.Dst,
+			Priority: s.Priority, Period: s.Period,
+			Length: s.Length, Deadline: s.Deadline,
+		}
+	}
+	jobSize := cfg.JobSize
+	if jobSize < 1 {
+		jobSize = 1
+	}
+
+	// The replay controller mirrors the daemon's state after each
+	// mutation, so every scheduled admission is one the daemon — seeing
+	// the same mutations in the same order — must also accept.
+	topo := topology.NewMesh2D(cfg.Workload.MeshW, cfg.Workload.MeshH)
+	replay, err := admit.New(topo, admit.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: replay controller: %w", err)
+	}
+	// nextSpec pops free specs until the replay controller accepts one;
+	// a refused spec is dropped for the rest of the schedule.
+	nextSpec := func(free []int) (int, admit.Handle, []int, bool) {
+		for len(free) > 0 {
+			si := free[0]
+			free = free[1:]
+			res, err := replay.Admit(pool[si])
+			if err == nil && res.Admitted {
+				return si, res.Handles[0], free, true
+			}
+		}
+		return 0, 0, free, false
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sched := &Schedule{Ops: make([]Op, 0, cfg.Ops), Pool: len(pool)}
+	free := make([]int, len(pool))
+	for i := range free {
+		free[i] = i
+	}
+	var live []liveStream
+	freedBy := make(map[int]int) // pool index -> seq of the withdraw that freed it
+	lastMut := -1                // previous mutation's seq, for ordered schedules
+	at := time.Duration(0)
+	for i := 0; i < cfg.Ops; i++ {
+		at += time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		op := Op{Seq: i, At: at}
+		r := rng.Float64()
+		wantWithdraw := r < cfg.WithdrawFrac && len(live) > 0
+		wantReport := !wantWithdraw && r >= cfg.WithdrawFrac && r < cfg.WithdrawFrac+cfg.ReportFrac
+		if !wantReport && !wantWithdraw {
+			// Admit up to jobSize replay-validated specs; the pool may
+			// run out of admissible specs mid-batch (or entirely).
+			for len(op.Specs) < jobSize {
+				si, h, rest, ok := nextSpec(free)
+				free = rest
+				if !ok {
+					break
+				}
+				live = append(live, liveStream{seq: i, idx: len(op.Specs), spec: si, handle: h})
+				op.Specs = append(op.Specs, pool[si])
+				if w, ok := freedBy[si]; ok && cfg.Unordered {
+					// Without the mutation chain, an admission reusing a
+					// freed spec must still wait for the withdrawal that
+					// freed it, or the daemon would see the source twice.
+					op.After = append(op.After, w)
+				}
+				delete(freedBy, si)
+			}
+			switch {
+			case len(op.Specs) > 1:
+				op.Kind = OpJob
+			case len(op.Specs) == 1:
+				op.Kind = OpAdmit
+			default:
+				wantWithdraw = true // nothing admissible: churn instead
+			}
+		}
+		switch {
+		case wantReport:
+			op.Kind = OpReport
+		case wantWithdraw:
+			if len(live) == 0 { // pool exhausted and nothing live: read
+				op.Kind = OpReport
+				break
+			}
+			// Withdraw the oldest live stream: FIFO keeps the live set
+			// churning through the whole pool.
+			ls := live[0]
+			live = live[1:]
+			free = append(free, ls.spec)
+			freedBy[ls.spec] = i
+			if _, err := replay.Withdraw(ls.handle); err != nil {
+				return nil, fmt.Errorf("loadgen: replay withdraw: %w", err)
+			}
+			op.Kind = OpWithdraw
+			op.Ref = ls.seq
+			op.RefIdx = ls.idx
+		}
+		if op.Kind != OpReport {
+			if !cfg.Unordered && lastMut >= 0 {
+				op.After = append(op.After, lastMut)
+			}
+			lastMut = i
+		}
+		sched.Ops = append(sched.Ops, op)
+	}
+	sched.Horizon = at
+	return sched, nil
+}

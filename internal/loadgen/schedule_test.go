@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic pins that the same config yields the same
+// schedule, op for op — replays must offer identical traffic.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := DefaultScheduleConfig(200, 500, 42)
+	a, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two builds of the same config differ")
+	}
+	cfg.Seed = 43
+	c, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Fatal("different seeds built identical schedules")
+	}
+}
+
+// TestScheduleInvariants checks the structural promises BuildSchedule
+// makes: monotone send times, withdraws referencing earlier admits
+// with a valid handle index, and no spec admitted twice concurrently.
+func TestScheduleInvariants(t *testing.T) {
+	cfg := DefaultScheduleConfig(500, 1000, 7)
+	cfg.JobSize = 3
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Ops) != 500 {
+		t.Fatalf("%d ops", len(sched.Ops))
+	}
+	prev := time.Duration(-1)
+	liveByOp := map[int]int{}  // admit seq -> live handle count
+	liveSrc := map[int]int{}   // src node -> live count (pool specs have distinct sources)
+	opSpecs := map[int][]int{} // admit seq -> src list
+	kinds := map[int]OpKind{}  // seq -> kind, for After validation
+	counts := map[OpKind]int{}
+	sawAfter := false
+	lastMut := -1
+	for _, op := range sched.Ops {
+		counts[op.Kind]++
+		kinds[op.Seq] = op.Kind
+		if op.At < prev {
+			t.Fatalf("op %d: time went backwards", op.Seq)
+		}
+		prev = op.At
+		for _, dep := range op.After {
+			sawAfter = true
+			if dep >= op.Seq {
+				t.Fatalf("op %d: After dep %d not earlier", op.Seq, dep)
+			}
+			if kinds[dep] == OpReport {
+				t.Fatalf("op %d: After dep %d is a report, want a mutation", op.Seq, dep)
+			}
+			if op.Kind == OpReport {
+				t.Fatalf("op %d: report carries After deps", op.Seq)
+			}
+		}
+		if op.Kind != OpReport {
+			// Ordered schedules chain every mutation to its predecessor
+			// so the daemon sees them in the replay-validated order.
+			if lastMut >= 0 {
+				chained := false
+				for _, dep := range op.After {
+					chained = chained || dep == lastMut
+				}
+				if !chained {
+					t.Fatalf("op %d: mutation not chained to previous mutation %d", op.Seq, lastMut)
+				}
+			}
+			lastMut = op.Seq
+		}
+		switch op.Kind {
+		case OpAdmit, OpJob:
+			if len(op.Specs) == 0 {
+				t.Fatalf("op %d: admit with no specs", op.Seq)
+			}
+			liveByOp[op.Seq] = len(op.Specs)
+			for _, sp := range op.Specs {
+				liveSrc[int(sp.Src)]++
+				if liveSrc[int(sp.Src)] > 1 {
+					t.Fatalf("op %d: source %d admitted twice concurrently", op.Seq, sp.Src)
+				}
+				opSpecs[op.Seq] = append(opSpecs[op.Seq], int(sp.Src))
+			}
+		case OpWithdraw:
+			n, ok := liveByOp[op.Ref]
+			if !ok || op.Ref >= op.Seq {
+				t.Fatalf("op %d: withdraw references op %d", op.Seq, op.Ref)
+			}
+			if op.RefIdx < 0 || op.RefIdx >= n {
+				t.Fatalf("op %d: handle index %d out of %d", op.Seq, op.RefIdx, n)
+			}
+			liveSrc[opSpecs[op.Ref][op.RefIdx]]--
+		}
+	}
+	for _, k := range []OpKind{OpAdmit, OpWithdraw, OpReport} {
+		if counts[k] == 0 {
+			t.Fatalf("no %s ops in a 500-op mixed schedule", k)
+		}
+	}
+	if !sawAfter {
+		t.Fatal("ordered 500-op schedule carries no After deps")
+	}
+	if sched.Horizon <= 0 || sched.Horizon != prev {
+		t.Fatalf("horizon %v, last op at %v", sched.Horizon, prev)
+	}
+}
+
+func TestScheduleConfigValidation(t *testing.T) {
+	bad := []ScheduleConfig{
+		{},
+		func() ScheduleConfig { c := DefaultScheduleConfig(10, 100, 1); c.Rate = 0; return c }(),
+		func() ScheduleConfig {
+			c := DefaultScheduleConfig(10, 100, 1)
+			c.WithdrawFrac = 0.8
+			c.ReportFrac = 0.5
+			return c
+		}(),
+		func() ScheduleConfig { c := DefaultScheduleConfig(0, 100, 1); return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := BuildSchedule(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package loadgen
+
+// SLO is the service-level objective a run is judged against. Zero
+// fields are unchecked, so the zero SLO always passes (with the
+// structural checks below still applied when their subject exists).
+type SLO struct {
+	// P50US / P99US / P999US bound the total open-loop latency
+	// quantiles (scheduled send → final response), microseconds.
+	P50US  int `json:"p50US,omitempty"`
+	P99US  int `json:"p99US,omitempty"`
+	P999US int `json:"p999US,omitempty"`
+	// MaxErrorFrac is the error budget: errors / executed operations
+	// (executed = sent − skipped). Sheds (429) and rejections (409) are
+	// deliberate daemon behaviour, not errors, and have their own
+	// budget. Negative disables; 0 demands zero errors.
+	MaxErrorFrac float64 `json:"maxErrorFrac"`
+	// MaxShedFrac bounds shed / executed. Negative disables; 0 demands
+	// that backpressure never won through every retry.
+	MaxShedFrac float64 `json:"maxShedFrac"`
+	// SkipChaosCheck / SkipMirrorCheck drop the structural checks that
+	// otherwise apply whenever a chaos cycle ran / the mirror was
+	// verifiable.
+	SkipChaosCheck  bool `json:"skipChaosCheck,omitempty"`
+	SkipMirrorCheck bool `json:"skipMirrorCheck,omitempty"`
+}
+
+// Check is one evaluated SLO rule.
+type Check struct {
+	Name   string  `json:"name"`
+	Limit  float64 `json:"limit"`
+	Actual float64 `json:"actual"`
+	Pass   bool    `json:"pass"`
+}
+
+// Evaluate judges the report: latency quantiles against their targets,
+// the error and shed budgets, chaos report identity and mirror
+// consistency. The second result is the conjunction.
+func (s SLO) Evaluate(rep *Report) ([]Check, bool) {
+	var checks []Check
+	add := func(name string, limit, actual float64, pass bool) {
+		checks = append(checks, Check{Name: name, Limit: limit, Actual: actual, Pass: pass})
+	}
+	t := rep.Totals
+	if s.P50US > 0 {
+		add("latency-p50-us", float64(s.P50US), float64(t.Sched.P50US), t.Sched.P50US <= s.P50US)
+	}
+	if s.P99US > 0 {
+		add("latency-p99-us", float64(s.P99US), float64(t.Sched.P99US), t.Sched.P99US <= s.P99US)
+	}
+	if s.P999US > 0 {
+		add("latency-p999-us", float64(s.P999US), float64(t.Sched.P999US), t.Sched.P999US <= s.P999US)
+	}
+	executed := t.Sent - t.Skipped
+	if s.MaxErrorFrac >= 0 && executed > 0 {
+		frac := float64(t.Errors) / float64(executed)
+		add("error-budget", s.MaxErrorFrac, frac, frac <= s.MaxErrorFrac)
+	}
+	if s.MaxShedFrac >= 0 && executed > 0 {
+		frac := float64(t.Shed) / float64(executed)
+		add("shed-budget", s.MaxShedFrac, frac, frac <= s.MaxShedFrac)
+	}
+	if rep.Chaos != nil && !s.SkipChaosCheck {
+		add("chaos-report-match", 1, b2f(rep.Chaos.ReportMatch), rep.Chaos.ReportMatch)
+	}
+	if rep.Verification.Checked && !s.SkipMirrorCheck {
+		add("mirror-match", 1, b2f(rep.Verification.Match), rep.Verification.Match)
+	}
+	pass := true
+	for _, c := range checks {
+		if !c.Pass {
+			pass = false
+		}
+	}
+	return checks, pass
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

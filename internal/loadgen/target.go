@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// Target is the daemon under test. Kill must stop it abruptly (no
+// drain — a crash, as far as clients can tell) and Restart must boot
+// it again on the same address, restoring whatever its snapshot holds.
+type Target interface {
+	URL() string
+	Kill() error
+	Restart() error
+}
+
+// StaticTarget points the runner at an externally managed daemon.
+// Chaos is unsupported: the harness has no handle on the process.
+type StaticTarget string
+
+// URL returns the base URL.
+func (t StaticTarget) URL() string { return string(t) }
+
+// Kill reports that chaos needs a managed target.
+func (t StaticTarget) Kill() error {
+	return fmt.Errorf("loadgen: static target %s: chaos needs a managed daemon (in-process or -exec)", string(t))
+}
+
+// Restart reports that chaos needs a managed target.
+func (t StaticTarget) Restart() error { return t.Kill() }
+
+// InProcConfig boots an in-process daemon: the same internal/server +
+// internal/admit composition cmd/rtwormd wires up, on a loopback
+// listener. It is the hermetic target for tests, `rtwormload` self
+// mode and `make load-smoke`.
+type InProcConfig struct {
+	// Topology of the fresh controller (ignored when the snapshot
+	// restores one).
+	Topology stream.TopologySpec
+	// Admit tunes the controller (workers, router latency).
+	Admit admit.Config
+	// SnapshotPath persists every mutation; required for chaos — a
+	// restart restores from it. Empty disables persistence (and makes
+	// a chaos restart come back empty).
+	SnapshotPath string
+	// Server-side overload protection, passed through to server.Config.
+	MaxQueuedMutations int
+	QueueWait          time.Duration
+	RetryAfter         time.Duration
+	WriteTimeout       time.Duration
+	IdleTimeout        time.Duration
+	// MutationDelay artificially slows mutations (server.Config's test
+	// knob) so overload tests can fill the queue deterministically.
+	MutationDelay time.Duration
+}
+
+// InProc is a live in-process daemon.
+type InProc struct {
+	cfg  InProcConfig
+	addr string // pinned after the first boot so restarts reuse the port
+	srv  *server.Server
+	done chan error
+}
+
+// StartInProc boots the daemon and returns once it is serving.
+func StartInProc(cfg InProcConfig) (*InProc, error) {
+	d := &InProc{cfg: cfg, addr: "127.0.0.1:0"}
+	if err := d.boot(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// boot builds a controller (snapshot-restored when one exists), wraps
+// it in a server and starts serving on d.addr.
+func (d *InProc) boot() error {
+	var ctl *admit.Controller
+	if d.cfg.SnapshotPath != "" {
+		restored, ok, err := server.LoadSnapshot(d.cfg.SnapshotPath, d.cfg.Admit)
+		if err != nil {
+			return fmt.Errorf("loadgen: inproc boot: %w", err)
+		}
+		if ok {
+			ctl = restored
+		}
+	}
+	if ctl == nil {
+		topo, err := d.cfg.Topology.Build()
+		if err != nil {
+			return fmt.Errorf("loadgen: inproc topology: %w", err)
+		}
+		if ctl, err = admit.New(topo, d.cfg.Admit); err != nil {
+			return fmt.Errorf("loadgen: inproc controller: %w", err)
+		}
+	}
+	srv, err := server.New(server.Config{
+		Controller:         ctl,
+		SnapshotPath:       d.cfg.SnapshotPath,
+		MutationDelay:      d.cfg.MutationDelay,
+		MaxQueuedMutations: d.cfg.MaxQueuedMutations,
+		QueueWait:          d.cfg.QueueWait,
+		RetryAfter:         d.cfg.RetryAfter,
+		WriteTimeout:       d.cfg.WriteTimeout,
+		IdleTimeout:        d.cfg.IdleTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", d.addr)
+	if err != nil {
+		return fmt.Errorf("loadgen: inproc listen %s: %w", d.addr, err)
+	}
+	d.addr = ln.Addr().String()
+	d.srv = srv
+	d.done = make(chan error, 1)
+	go func(srv *server.Server, done chan error) {
+		done <- srv.Serve(ln)
+	}(srv, d.done)
+	return nil
+}
+
+// URL returns the daemon's base URL.
+func (d *InProc) URL() string { return "http://" + d.addr }
+
+// Kill tears the daemon down abruptly: active connections die
+// mid-flight, nothing drains. The snapshot on disk holds exactly the
+// mutations that committed before their responses were written.
+func (d *InProc) Kill() error {
+	err := d.srv.Close()
+	if serr := <-d.done; serr != nil && serr != http.ErrServerClosed && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// Restart boots the daemon again on the same address, restoring the
+// snapshot.
+func (d *InProc) Restart() error { return d.boot() }
+
+// Stop shuts the daemon down gracefully (the clean end-of-run path).
+func (d *InProc) Stop(ctx context.Context) error {
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-d.done; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Server exposes the live server (tests inspect in-flight counts).
+func (d *InProc) Server() *server.Server { return d.srv }

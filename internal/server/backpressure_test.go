@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/topology"
+)
+
+// newOverloadServer boots a server with a deliberately tiny mutation
+// queue and slow mutations, so tests can fill the queue on demand.
+func newOverloadServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	ctl, err := admit.New(topology.NewMesh2D(10, 10), admit.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Controller = ctl
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.httpSrv.Handler)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestOverloadSheds429WithRetryAfter pins the shed contract: when the
+// queue is full past QueueWait, mutations get 429 with a parseable
+// whole-second Retry-After header, and every shed mutation left the
+// stream set untouched.
+func TestOverloadSheds429WithRetryAfter(t *testing.T) {
+	s, ts := newOverloadServer(t, Config{
+		MaxQueuedMutations: 1,
+		QueueWait:          time.Millisecond,
+		RetryAfter:         1500 * time.Millisecond, // rounds up to "2"
+		MutationDelay:      50 * time.Millisecond,
+	})
+
+	const n = 8
+	var ok, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := StreamRequest{Src: i, Dst: 99 - i, Priority: i + 1, Period: 200, Length: 1}
+			body, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/streams", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+				ra := resp.Header.Get("Retry-After")
+				secs, err := strconv.Atoi(ra)
+				if err != nil || secs < 1 {
+					t.Errorf("Retry-After %q not a positive whole-second count", ra)
+				}
+				if secs != 2 {
+					t.Errorf("Retry-After %q, want 2 (1.5s rounded up)", ra)
+				}
+				var e ErrorResponse
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "overloaded") {
+					t.Errorf("shed body: %+v, %v", e, err)
+				}
+			default:
+				t.Errorf("unexpected status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if shed.Load() == 0 {
+		t.Fatalf("no sheds out of %d concurrent mutations against a 1-slot queue", n)
+	}
+	// Committed exactly what the clients were told: Len == number of 200s.
+	if got := s.ctl.Len(); int64(got) != ok.Load() {
+		t.Fatalf("controller holds %d streams, clients saw %d acks", got, ok.Load())
+	}
+	if s.overload.Load() != shed.Load() {
+		t.Fatalf("shed counter %d, observed %d", s.overload.Load(), shed.Load())
+	}
+}
+
+// TestOverloadMetricsExported: the shed counter and queue-depth gauge
+// appear on /metrics once backpressure has fired.
+func TestOverloadMetricsExported(t *testing.T) {
+	s, ts := newOverloadServer(t, Config{
+		MaxQueuedMutations: 1,
+		QueueWait:          0, // shed immediately when full
+		MutationDelay:      30 * time.Millisecond,
+	})
+
+	// Occupy the only slot, then collide with it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body, _ := json.Marshal(paperStream(0))
+		resp, err := http.Post(ts.URL+"/v1/streams", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the slow mutation take the slot
+	body, _ := json.Marshal(paperStream(1))
+	resp, err := http.Post(ts.URL+"/v1/streams", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("collision status %d, want 429", resp.StatusCode)
+	}
+	wg.Wait()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	doc, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{"rtwormd_overload_shed_total 1", "rtwormd_mutation_queue_depth"} {
+		if !strings.Contains(string(doc), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, doc)
+		}
+	}
+	if got := s.ctl.Len(); got != 1 {
+		t.Fatalf("controller len %d after one ack", got)
+	}
+}
+
+// TestBackpressureDisabledByDefault: the zero config queues without
+// shedding — existing deployments see no behaviour change.
+func TestBackpressureDisabledByDefault(t *testing.T) {
+	_, ts := newOverloadServer(t, Config{MutationDelay: 5 * time.Millisecond})
+	var wg sync.WaitGroup
+	var not200 atomic.Int64
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(paperStream(i % 5))
+			resp, err := http.Post(ts.URL+"/v1/streams", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			// Duplicate sources 409; what must never appear is 429.
+			if resp.StatusCode == http.StatusTooManyRequests {
+				not200.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if not200.Load() != 0 {
+		t.Fatalf("%d mutations shed with backpressure disabled", not200.Load())
+	}
+}

@@ -21,6 +21,17 @@
 // snapshot write fails the response is 500 with "committed": true and
 // the daemon keeps serving from memory (the operator loses restart
 // durability, not traffic).
+//
+// Overload protection: mutations serialize behind the controller's
+// write lock, so under sustained overload they would otherwise queue
+// without bound and convert into client timeouts. With
+// MaxQueuedMutations set, at most that many mutation requests are in
+// the building at once (executing plus waiting); the rest wait up to
+// QueueWait for a slot and are then shed with 429 Too Many Requests
+// and a parseable Retry-After header. A shed request has touched no
+// state. Once a mutation holds a slot it always runs to completion —
+// the commit-before-respond guarantee is never cut short by a
+// deadline. See docs/DAEMON.md for the overload semantics.
 package server
 
 import (
@@ -32,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +66,24 @@ type Config struct {
 	// (internal/e2e), which needs a request reliably in flight; leave
 	// zero in production.
 	MutationDelay time.Duration
+	// MaxQueuedMutations bounds the mutation requests admitted into the
+	// serialized controller queue, the executing one included; 0
+	// disables backpressure (unbounded queueing, the pre-overload
+	// behaviour).
+	MaxQueuedMutations int
+	// QueueWait is the per-request deadline for obtaining a queue slot:
+	// a mutation that cannot start within it is shed with 429. Zero
+	// sheds immediately when the queue is full.
+	QueueWait time.Duration
+	// RetryAfter is the hint sent in the Retry-After header of a 429,
+	// rounded up to whole seconds (minimum 1, per RFC 9110
+	// delay-seconds). Zero defaults to one second.
+	RetryAfter time.Duration
+	// WriteTimeout and IdleTimeout are applied to the http.Server (zero
+	// leaves the corresponding limit off). ReadHeaderTimeout is always
+	// set.
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
 }
 
 // Server is the HTTP face of one admission controller.
@@ -63,6 +93,13 @@ type Server struct {
 	delay        time.Duration
 	httpSrv      *http.Server
 	inflight     atomic.Int64
+
+	// mutSem is the bounded mutation queue: holding a token is the
+	// right to run one mutation. nil when backpressure is disabled.
+	mutSem     chan struct{}
+	queueWait  time.Duration
+	retryAfter time.Duration
+	overload   atomic.Int64 // mutations shed with 429
 
 	mu           sync.Mutex
 	admitLat     hist.H // admit mutation latency, µs (recompute included)
@@ -75,10 +112,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Controller == nil {
 		return nil, fmt.Errorf("server: nil controller")
 	}
+	if cfg.MaxQueuedMutations < 0 {
+		return nil, fmt.Errorf("server: negative mutation queue bound %d", cfg.MaxQueuedMutations)
+	}
 	s := &Server{
 		ctl:          cfg.Controller,
 		snapshotPath: cfg.SnapshotPath,
 		delay:        cfg.MutationDelay,
+		queueWait:    cfg.QueueWait,
+		retryAfter:   cfg.RetryAfter,
+	}
+	if s.retryAfter <= 0 {
+		s.retryAfter = time.Second
+	}
+	if cfg.MaxQueuedMutations > 0 {
+		s.mutSem = make(chan struct{}, cfg.MaxQueuedMutations)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/streams", s.handleAdmitStream)
@@ -91,6 +139,8 @@ func New(cfg Config) (*Server, error) {
 	s.httpSrv = &http.Server{
 		Handler:           s.track(mux),
 		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      cfg.WriteTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
 	}
 	return s, nil
 }
@@ -121,6 +171,57 @@ func (s *Server) ListenAndServe(addr string) error {
 // Shutdown gracefully stops the server: no new connections, in-flight
 // requests drain until ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error { return s.httpSrv.Shutdown(ctx) }
+
+// Close stops the server abruptly: the listener and every active
+// connection are torn down without draining. It exists for chaos
+// testing (internal/loadgen kills a daemon mid-run to exercise
+// snapshot restore); production shutdown should use Shutdown.
+func (s *Server) Close() error { return s.httpSrv.Close() }
+
+// acquireMutation takes a slot in the bounded mutation queue. It
+// returns a release func and true, or (nil, false) when the request
+// should be shed: the queue stayed full past the QueueWait deadline,
+// or the client went away while waiting. With backpressure disabled it
+// always succeeds immediately.
+func (s *Server) acquireMutation(ctx context.Context) (func(), bool) {
+	if s.mutSem == nil {
+		return func() {}, true
+	}
+	release := func() { <-s.mutSem }
+	select {
+	case s.mutSem <- struct{}{}:
+		return release, true
+	default:
+	}
+	if s.queueWait <= 0 {
+		return nil, false
+	}
+	t := time.NewTimer(s.queueWait)
+	defer t.Stop()
+	select {
+	case s.mutSem <- struct{}{}:
+		return release, true
+	case <-t.C:
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// shed answers a mutation the queue could not absorb: 429 with a
+// Retry-After hint in whole seconds, body in the usual error shape.
+// Nothing was committed.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.overload.Add(1)
+	secs := int((s.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error: "overloaded: mutation queue full; retry after the indicated delay",
+	})
+}
 
 // StreamRequest is the JSON body of POST /v1/streams and each element
 // of a job batch.
@@ -213,6 +314,12 @@ func (s *Server) handleAdmitStream(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	release, ok := s.acquireMutation(r.Context())
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
 	s.admit(w, []admit.Spec{req.spec()})
 }
 
@@ -229,6 +336,12 @@ func (s *Server) handleAdmitJob(w http.ResponseWriter, r *http.Request) {
 	for i, sr := range req.Streams {
 		specs[i] = sr.spec()
 	}
+	release, ok := s.acquireMutation(r.Context())
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
 	s.admit(w, specs)
 }
 
@@ -274,6 +387,12 @@ func (s *Server) handleWithdraw(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed handle"})
 		return
 	}
+	release, ok := s.acquireMutation(r.Context())
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
 	if s.delay > 0 {
 		time.Sleep(s.delay)
 	}
@@ -372,6 +491,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "rtwormd_cached_bounds_total %d\n", st.Cached)
 	fmt.Fprintf(w, "# TYPE rtwormd_snapshot_errors_total counter\n")
 	fmt.Fprintf(w, "rtwormd_snapshot_errors_total %d\n", snapErrs)
+	fmt.Fprintf(w, "# HELP rtwormd_overload_shed_total Mutations shed with 429 because the queue was full.\n")
+	fmt.Fprintf(w, "# TYPE rtwormd_overload_shed_total counter\n")
+	fmt.Fprintf(w, "rtwormd_overload_shed_total %d\n", s.overload.Load())
+	fmt.Fprintf(w, "# HELP rtwormd_mutation_queue_depth Mutations holding or waiting for a queue slot.\n")
+	fmt.Fprintf(w, "# TYPE rtwormd_mutation_queue_depth gauge\n")
+	fmt.Fprintf(w, "rtwormd_mutation_queue_depth %d\n", len(s.mutSem))
 	writeHist(w, "rtwormd_admit_latency_us", "Admit mutation latency (recompute included), microseconds.", &admitLat)
 	writeHist(w, "rtwormd_withdraw_latency_us", "Withdraw mutation latency, microseconds.", &withdrawLat)
 }
@@ -457,6 +582,14 @@ func LoadSnapshot(path string, cfg admit.Config) (*admit.Controller, bool, error
 	}
 	var sn admit.Snapshot
 	if err := json.Unmarshal(data, &sn); err != nil {
+		// A truncated or corrupt file is an operator problem, not a
+		// boot-fresh situation: refuse loudly, naming the file and where
+		// parsing died, rather than silently discarding admitted state.
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) {
+			return nil, false, fmt.Errorf("server: snapshot %s: corrupt or truncated at byte %d of %d: %w",
+				path, syn.Offset, len(data), err)
+		}
 		return nil, false, fmt.Errorf("server: snapshot %s: %w", path, err)
 	}
 	c, err := admit.Restore(&sn, cfg)
