@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench bench-json load-smoke reproduce quick-reproduce fuzz cover clean
+.PHONY: all build test test-race vet lint lint-fix lint-sarif bench bench-json load-smoke reproduce quick-reproduce fuzz cover clean
 
 all: build vet lint test
 
@@ -21,6 +21,17 @@ lint:
 	fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/rtwlint ./...
+
+# Apply every suggested fix rtwlint knows (defer cancel() insertion,
+# stale-directive deletion); exits non-zero when unfixable findings
+# remain. CI runs this and fails if it would produce a diff — fixable
+# findings must not be committed.
+lint-fix:
+	$(GO) run ./cmd/rtwlint -fix ./...
+
+# SARIF 2.1.0 log of the full run, for code-scanning upload.
+lint-sarif:
+	$(GO) run ./cmd/rtwlint -sarif ./... > rtwlint.sarif || true
 
 test:
 	$(GO) test ./...

@@ -2,21 +2,33 @@
 // internal/lint and docs/LINTING.md) over the packages matching the
 // given patterns:
 //
-//	rtwlint [-list] [-only name,name] [packages...]
+//	rtwlint [-list] [-only name,name] [-json|-sarif] [-fix] [packages...]
 //
-// With no patterns it checks ./.... It prints findings one per line as
+// With no patterns it checks ./.... Findings from every package are
+// merged and sorted by file, line, column, analyzer, message — the
+// output is byte-stable across runs and machines. The default format is
+// one finding per line:
 //
 //	path/file.go:line:col: message (analyzer)
 //
-// and exits 1 when any finding survives suppression, 2 on usage or
-// load errors, 0 on a clean run. It complements `go vet` (run both; see
-// `make lint`): vet covers the generic mistakes, rtwlint the invariants
-// of the paper's analysis pipeline.
+// -json emits the same findings as a JSON array; -sarif emits a SARIF
+// 2.1.0 log (the format GitHub code scanning ingests). -fix applies the
+// first suggested fix of every diagnostic that carries one, rewriting
+// the files in place (gofmt-formatted), and succeeds when every finding
+// was fixable.
+//
+// Exit status: 0 on a clean run (or, with -fix, when every finding was
+// fixed), 1 when findings survive, 2 on usage or load errors. rtwlint
+// complements `go vet` (run both; see `make lint`): vet covers the
+// generic mistakes, rtwlint the invariants of the paper's analysis
+// pipeline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
@@ -32,16 +44,36 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// finding is one diagnostic with its resolved position, the unit the
+// output formats share.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable,omitempty"`
+
+	diag analysis.Diagnostic
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rtwlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	fix := fs.Bool("fix", false, "apply the first suggested fix of each finding, rewriting files in place")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: rtwlint [-list] [-only name,name] [packages...]\n\n")
+		fmt.Fprintf(stderr, "usage: rtwlint [-list] [-only name,name] [-json|-sarif] [-fix] [packages...]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "rtwlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -67,7 +99,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := 0
+	// Every package of one Load call shares a FileSet, so diagnostics
+	// from different packages sort (and fix) against the same positions.
+	var findings []finding
+	var fset = tokenFileSet(pkgs)
 	for _, pkg := range pkgs {
 		diags, err := analysis.Run(pkg, analyzers)
 		if err != nil {
@@ -76,16 +111,144 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
-			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n",
-				relPath(pos.Filename), pos.Line, pos.Column, d.Message, d.Analyzer)
-			findings++
+			findings = append(findings, finding{
+				File:     relPath(pos.Filename),
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Fixable:  len(d.SuggestedFixes) > 0,
+				diag:     d,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "rtwlint: %d finding(s)\n", findings)
+	sortFindings(findings)
+
+	switch {
+	case *asJSON:
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "rtwlint:", err)
+			return 2
+		}
+	case *asSARIF:
+		if err := writeSARIF(stdout, analyzers, findings); err != nil {
+			fmt.Fprintln(stderr, "rtwlint:", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+		}
+	}
+
+	if *fix {
+		fixed, files, err := applyFixes(fset, findings)
+		if err != nil {
+			fmt.Fprintln(stderr, "rtwlint:", err)
+			return 2
+		}
+		unfixed := 0
+		for _, f := range findings {
+			if !f.Fixable {
+				unfixed++
+			}
+		}
+		if fixed > 0 {
+			fmt.Fprintf(stderr, "rtwlint: applied %d fix(es) across %d file(s)\n", fixed, files)
+		}
+		if unfixed > 0 {
+			fmt.Fprintf(stderr, "rtwlint: %d finding(s) had no suggested fix\n", unfixed)
+			return 1
+		}
+		return 0
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "rtwlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// sortFindings orders findings by file, line, column, analyzer,
+// message — a total order, so the output is byte-stable.
+func sortFindings(fs []finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// tokenFileSet returns the FileSet shared by the loaded packages (nil
+// when no packages matched).
+func tokenFileSet(pkgs []*analysis.Package) *token.FileSet {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	return pkgs[0].Fset
+}
+
+// writeJSON emits the findings as an indented JSON array ([] when
+// clean, never null).
+func writeJSON(w io.Writer, findings []finding) error {
+	if findings == nil {
+		findings = []finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// applyFixes applies the first suggested fix of every finding, grouped
+// by file, and rewrites the files in place. It returns the number of
+// edits applied and files rewritten.
+func applyFixes(fset *token.FileSet, findings []finding) (edits, files int, err error) {
+	if fset == nil || len(findings) == 0 {
+		return 0, 0, nil
+	}
+	diags := make([]analysis.Diagnostic, 0, len(findings))
+	for _, f := range findings {
+		if f.Fixable {
+			diags = append(diags, f.diag)
+		}
+	}
+	byFile := analysis.FixEdits(fset, diags)
+	names := make([]string, 0, len(byFile))
+	for name := range byFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return edits, files, err
+		}
+		out, err := analysis.ApplyEdits(fset, src, byFile[name])
+		if err != nil {
+			return edits, files, fmt.Errorf("fixing %s: %w", relPath(name), err)
+		}
+		info, err := os.Stat(name)
+		if err != nil {
+			return edits, files, err
+		}
+		if err := os.WriteFile(name, out, info.Mode().Perm()); err != nil {
+			return edits, files, err
+		}
+		edits += len(byFile[name])
+		files++
+	}
+	return edits, files, nil
 }
 
 // selectAnalyzers resolves a comma-separated -only list.

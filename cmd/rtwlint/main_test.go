@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -77,5 +79,207 @@ func mean(a, b float64) bool { return a == b }
 	}
 	if !strings.Contains(out.String(), "floating-point == comparison") {
 		t.Errorf("finding not printed:\n%s", out.String())
+	}
+}
+
+// seedModule writes a throwaway module under a temp dir and chdirs into
+// it. files maps relative path -> content.
+func seedModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module seeded\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+}
+
+// TestSortAcrossPackages: findings are merged across packages and
+// sorted by file path, not reported package-by-package. The nested
+// package's file sorts before the root's, while package order (root
+// first) would print it last — and repeated runs are byte-identical.
+func TestSortAcrossPackages(t *testing.T) {
+	chdirRepoRoot(t)
+	seedModule(t, map[string]string{
+		"root.go":       "package seeded\n\nfunc R(a, b float64) bool { return a == b }\n",
+		"inner/file.go": "package inner\n\nfunc I(a, b float64) bool { return a == b }\n",
+	})
+	var out1, out2, errb strings.Builder
+	if code := run([]string{"-only", "floateq", "./..."}, &out1, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-only", "floateq", "./..."}, &out2, &errb); code != 1 {
+		t.Fatalf("second run exit %d, want 1", code)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("output not byte-stable:\n--- first ---\n%s--- second ---\n%s", out1.String(), out2.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out1.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 findings, got %d:\n%s", len(lines), out1.String())
+	}
+	if !strings.HasPrefix(lines[0], "inner/file.go:") || !strings.HasPrefix(lines[1], "root.go:") {
+		t.Errorf("findings not sorted by file across packages:\n%s", out1.String())
+	}
+}
+
+// TestJSONOutput: -json emits a parseable array carrying position,
+// analyzer, and message.
+func TestJSONOutput(t *testing.T) {
+	chdirRepoRoot(t)
+	seedModule(t, map[string]string{
+		"seeded.go": "package seeded\n\nfunc R(a, b float64) bool { return a == b }\n",
+	})
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "floateq", "-json", "."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var got []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(got) != 1 {
+		t.Fatalf("want 1 finding, got %d", len(got))
+	}
+	f := got[0]
+	if f.File != "seeded.go" || f.Line != 3 || f.Column == 0 || f.Analyzer != "floateq" ||
+		!strings.Contains(f.Message, "floating-point == comparison") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+// TestSARIFOutput: -sarif output parses as SARIF 2.1.0 — version
+// pinned, schema URI present, driver named, one result per finding
+// with a physical location, and the rule table covering the analyzers
+// that ran. A clean run still emits a valid log with zero results.
+func TestSARIFOutput(t *testing.T) {
+	chdirRepoRoot(t)
+	seedModule(t, map[string]string{
+		"seeded.go": "package seeded\n\nfunc R(a, b float64) bool { return a == b }\n",
+	})
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "floateq", "-sarif", "."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("-sarif output does not parse: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("not a SARIF 2.1.0 log: version %q schema %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "rtwlint" {
+		t.Errorf("driver name %q, want rtwlint", run0.Tool.Driver.Name)
+	}
+	if len(run0.Tool.Driver.Rules) != 1 || run0.Tool.Driver.Rules[0].ID != "floateq" ||
+		run0.Tool.Driver.Rules[0].ShortDescription.Text == "" {
+		t.Errorf("rule table wrong: %+v", run0.Tool.Driver.Rules)
+	}
+	if len(run0.Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(run0.Results))
+	}
+	r := run0.Results[0]
+	loc := r.Locations[0].PhysicalLocation
+	if r.RuleID != "floateq" || r.Level != "error" || r.Message.Text == "" ||
+		loc.ArtifactLocation.URI != "seeded.go" || loc.Region.StartLine != 3 || loc.Region.StartColumn == 0 {
+		t.Errorf("unexpected result: %+v", r)
+	}
+
+	// A clean package still yields a valid, empty-results log.
+	seedModule(t, map[string]string{"clean.go": "package seeded\n\nfunc OK() {}\n"})
+	out.Reset()
+	if code := run([]string{"-sarif", "."}, &out, &errb); code != 0 {
+		t.Fatalf("clean run exit %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"results": []`) {
+		t.Errorf("clean SARIF log should carry an empty results array:\n%s", out.String())
+	}
+}
+
+// TestFixRewritesFiles: -fix applies the stale-directive delete fix in
+// place, after which the package is clean.
+func TestFixRewritesFiles(t *testing.T) {
+	chdirRepoRoot(t)
+	src := `package seeded
+
+func stale(a, b int) bool {
+	//rtwlint:ignore floateq integers cannot trip floateq
+	return a == b
+}
+`
+	seedModule(t, map[string]string{"seeded.go": src})
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "directive,floateq", "-fix", "."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 (every finding fixable)\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "stale rtwlint directive") {
+		t.Errorf("stale finding not printed:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "applied 1 fix(es) across 1 file(s)") {
+		t.Errorf("fix summary missing:\n%s", errb.String())
+	}
+	fixed, err := os.ReadFile("seeded.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(fixed), "rtwlint:ignore") {
+		t.Errorf("stale directive not deleted:\n%s", fixed)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-only", "directive,floateq", "."}, &out, &errb); code != 0 {
+		t.Errorf("package not clean after -fix: exit %d\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
 	}
 }

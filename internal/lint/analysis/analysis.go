@@ -36,6 +36,12 @@ type Analyzer struct {
 	// Run applies the analyzer to one package, reporting findings via
 	// pass.Report / pass.Reportf.
 	Run func(pass *Pass) error
+	// Finish, if set, runs after every analyzer of the run has
+	// completed its Run over the package, with the well-formed
+	// suppression directives that (a) name an analyzer that actually
+	// ran and (b) suppressed nothing. The directive analyzer uses it to
+	// flag stale ignores; most analyzers leave it nil.
+	Finish func(pass *Pass, unused []Directive) error
 }
 
 // Pass holds the inputs the framework hands an analyzer for one
@@ -56,8 +62,29 @@ type Pass struct {
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Pos
+	End      token.Pos // optional: end of the flagged region (NoPos = unknown)
 	Message  string
 	Analyzer string
+	// SuggestedFixes are machine-applicable repairs for the finding;
+	// `rtwlint -fix` applies the first fix of each diagnostic (see
+	// cmd/rtwlint), and the analysistest harness verifies fixed output
+	// against .golden files.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained repair: applying all of its edits
+// resolves the diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. End ==
+// Pos inserts; empty NewText deletes.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
 }
 
 // Report emits a diagnostic unless a directive suppresses it.
@@ -92,6 +119,7 @@ const IgnorePrefix = "//rtwlint:ignore"
 // Directive is one parsed //rtwlint:ignore comment.
 type Directive struct {
 	Pos      token.Pos
+	End      token.Pos // end of the comment, for delete fixes
 	File     string
 	Line     int    // line the directive is written on
 	Analyzer string // analyzer name being suppressed ("" if malformed)
@@ -114,7 +142,7 @@ func Directives(fset *token.FileSet, files []*ast.File) []Directive {
 					continue // e.g. //rtwlint:ignorex — not ours
 				}
 				pos := fset.Position(c.Pos())
-				d := Directive{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+				d := Directive{Pos: c.Pos(), End: c.End(), File: pos.Filename, Line: pos.Line}
 				fields := strings.Fields(rest)
 				if len(fields) > 0 {
 					d.Analyzer = fields[0]
@@ -130,49 +158,96 @@ func Directives(fset *token.FileSet, files []*ast.File) []Directive {
 	return out
 }
 
-// suppressor builds the suppression predicate for one package: a
+// suppressor holds the suppression state of one package run: a
 // well-formed directive for analyzer A on line N suppresses A's
-// diagnostics on lines N and N+1 of the same file.
-func suppressor(fset *token.FileSet, files []*ast.File) func(name string, pos token.Pos) bool {
-	type key struct {
-		file string
-		name string
-		line int
-	}
-	index := map[key]bool{}
+// diagnostics on lines N and N+1 of the same file, and every
+// suppression marks the directive as used, so a directive left with
+// zero hits after a full run is provably stale.
+type suppressor struct {
+	fset  *token.FileSet
+	dirs  []Directive
+	index map[supKey]int // line key -> index into dirs
+	used  []bool         // aligned with dirs
+}
+
+type supKey struct {
+	file string
+	name string
+	line int
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
+	s := &suppressor{fset: fset, index: map[supKey]int{}}
 	for _, d := range Directives(fset, files) {
 		if d.Analyzer == "" || d.Reason == "" {
-			continue // malformed: never suppresses
+			continue // malformed: never suppresses (the directive analyzer reports it)
 		}
-		index[key{d.File, d.Analyzer, d.Line}] = true
-		index[key{d.File, d.Analyzer, d.Line + 1}] = true
+		i := len(s.dirs)
+		s.dirs = append(s.dirs, d)
+		s.index[supKey{d.File, d.Analyzer, d.Line}] = i
+		s.index[supKey{d.File, d.Analyzer, d.Line + 1}] = i
 	}
-	return func(name string, pos token.Pos) bool {
-		if len(index) == 0 || !pos.IsValid() {
-			return false
+	s.used = make([]bool, len(s.dirs))
+	return s
+}
+
+// suppress reports whether a directive covers the diagnostic, marking
+// the directive used.
+func (s *suppressor) suppress(name string, pos token.Pos) bool {
+	if len(s.index) == 0 || !pos.IsValid() {
+		return false
+	}
+	p := s.fset.Position(pos)
+	i, ok := s.index[supKey{p.Filename, name, p.Line}]
+	if !ok {
+		return false
+	}
+	s.used[i] = true
+	return true
+}
+
+// unused returns the well-formed directives that suppressed nothing,
+// restricted to directives naming an analyzer in ran — a directive for
+// an analyzer that did not run this time cannot be judged stale.
+func (s *suppressor) unused(ran map[string]bool) []Directive {
+	var out []Directive
+	for i, d := range s.dirs {
+		if !s.used[i] && ran[d.Analyzer] {
+			out = append(out, d)
 		}
-		p := fset.Position(pos)
-		return index[key{p.Filename, name, p.Line}]
 	}
+	return out
 }
 
 // Run applies every analyzer to the package and returns the surviving
-// diagnostics sorted by position. An analyzer returning an error aborts
-// the run.
+// diagnostics sorted by position. After every analyzer's Run, the
+// Finish hooks see the directives that suppressed nothing (stale
+// ignores). An analyzer returning an error aborts the run.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	sup := suppressor(pkg.Fset, pkg.Files)
-	for _, a := range analyzers {
-		pass := &Pass{
+	sup := newSuppressor(pkg.Fset, pkg.Files)
+	ran := make(map[string]bool, len(analyzers))
+	passes := make([]*Pass, len(analyzers))
+	for i, a := range analyzers {
+		ran[a.Name] = true
+		passes[i] = &Pass{
 			Analyzer:   a,
 			Fset:       pkg.Fset,
 			Files:      pkg.Files,
 			Pkg:        pkg.Pkg,
 			TypesInfo:  pkg.Info,
 			report:     func(d Diagnostic) { diags = append(diags, d) },
-			suppressed: sup,
+			suppressed: sup.suppress,
 		}
-		if err := a.Run(pass); err != nil {
+		if err := a.Run(passes[i]); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	for i, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		if err := a.Finish(passes[i], sup.unused(ran)); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"sort"
+)
+
+// ApplyEdits applies the text edits (all belonging to the file whose
+// content is src) and returns the patched, gofmt-formatted source.
+// Edits are applied in offset order; overlapping edits are an error —
+// the caller decides whether to drop one fix or give up on the file.
+func ApplyEdits(fset *token.FileSet, src []byte, edits []TextEdit) ([]byte, error) {
+	type span struct {
+		start, end int
+		text       []byte
+	}
+	spans := make([]span, 0, len(edits))
+	var file string
+	for _, e := range edits {
+		if !e.Pos.IsValid() {
+			return nil, fmt.Errorf("fix: edit with invalid position")
+		}
+		p := fset.Position(e.Pos)
+		end := p.Offset
+		if e.End.IsValid() {
+			pe := fset.Position(e.End)
+			if pe.Filename != p.Filename {
+				return nil, fmt.Errorf("fix: edit spans files %s and %s", p.Filename, pe.Filename)
+			}
+			end = pe.Offset
+		}
+		if file == "" {
+			file = p.Filename
+		} else if file != p.Filename {
+			return nil, fmt.Errorf("fix: edits for different files %s and %s", file, p.Filename)
+		}
+		if end < p.Offset || p.Offset < 0 || end > len(src) {
+			return nil, fmt.Errorf("fix: edit range [%d,%d) out of bounds (len %d)", p.Offset, end, len(src))
+		}
+		spans = append(spans, span{p.Offset, end, e.NewText})
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].end < spans[j].end
+	})
+	for i := 1; i < len(spans); i++ {
+		if spans[i].start < spans[i-1].end {
+			return nil, fmt.Errorf("fix: overlapping edits at offsets %d and %d", spans[i-1].start, spans[i].start)
+		}
+	}
+	var out []byte
+	last := 0
+	for _, s := range spans {
+		out = append(out, src[last:s.start]...)
+		out = append(out, s.text...)
+		last = s.end
+	}
+	out = append(out, src[last:]...)
+	formatted, err := format.Source(out)
+	if err != nil {
+		return nil, fmt.Errorf("fix: patched source does not parse: %w", err)
+	}
+	return formatted, nil
+}
+
+// FixEdits collects the edits of the FIRST suggested fix of each
+// diagnostic (alternative fixes are for interactive tools), grouped by
+// file. Diagnostics without fixes contribute nothing.
+func FixEdits(fset *token.FileSet, diags []Diagnostic) map[string][]TextEdit {
+	byFile := map[string][]TextEdit{}
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, e := range d.SuggestedFixes[0].TextEdits {
+			if !e.Pos.IsValid() {
+				continue
+			}
+			file := fset.Position(e.Pos).Filename
+			byFile[file] = append(byFile[file], e)
+		}
+	}
+	return byFile
+}

@@ -46,13 +46,68 @@ type expectation struct {
 // It returns the diagnostics for additional custom assertions.
 func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) []analysis.Diagnostic {
 	t.Helper()
+	return RunAnalyzers(t, []*analysis.Analyzer{a}, dir, pkgPath)
+}
+
+// RunAnalyzers is Run for a set of analyzers sharing one pass — needed
+// by checks that only make sense jointly, e.g. stale-directive
+// detection (a directive is stale only relative to the analyzers that
+// actually ran).
+func RunAnalyzers(t *testing.T, as []*analysis.Analyzer, dir, pkgPath string) []analysis.Diagnostic {
+	t.Helper()
 	pkg := Load(t, dir, pkgPath)
-	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	diags, err := analysis.Run(pkg, as)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("running analyzers on %s: %v", dir, err)
 	}
 	check(t, pkg, diags)
 	return diags
+}
+
+// RunWithFixes runs the analyzers like RunAnalyzers, then applies the
+// first suggested fix of every diagnostic and compares each patched
+// file against its golden sibling `<name>.golden`. A fixture file that
+// accumulates edits MUST have a golden file; files without edits need
+// none. Golden files live next to the fixture and are plain final
+// content (gofmt-formatted, as -fix output is).
+func RunWithFixes(t *testing.T, as []*analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg := Load(t, dir, pkgPath)
+	diags, err := analysis.Run(pkg, as)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	check(t, pkg, diags)
+	edits := analysis.FixEdits(pkg.Fset, diags)
+	if len(edits) == 0 {
+		t.Fatalf("RunWithFixes on %s: no diagnostic produced any suggested fix", dir)
+	}
+	files := make([]string, 0, len(edits))
+	for f := range edits {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", file, err)
+		}
+		got, err := analysis.ApplyEdits(pkg.Fset, src, edits[file])
+		if err != nil {
+			t.Errorf("applying fixes to %s: %v", file, err)
+			continue
+		}
+		golden := file + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("fixture %s has fixes but no golden file: %v", filepath.Base(file), err)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("fixed output of %s differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+				filepath.Base(file), filepath.Base(golden), got, want)
+		}
+	}
 }
 
 // Load parses and type-checks every .go file under dir as one package

@@ -1,0 +1,450 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of a function and returns its CFG.
+// src is the body only, without braces.
+func build(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// blocksOf returns the blocks whose Kind matches.
+func blocksOf(g *CFG, kind string) []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func one(t *testing.T, g *CFG, kind string) *Block {
+	t.Helper()
+	bs := blocksOf(g, kind)
+	if len(bs) != 1 {
+		t.Fatalf("want exactly one %q block, got %d\n%s", kind, len(bs), dump(g))
+	}
+	return bs[0]
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// reachable computes the set of blocks reachable from entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry())
+	return seen
+}
+
+func dump(g *CFG) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		sb.WriteString(b.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	if !hasEdge(g.Entry(), g.Exit()) {
+		t.Errorf("fall-off end must reach exit:\n%s", dump(g))
+	}
+	if len(g.Entry().Nodes) != 2 {
+		t.Errorf("entry should hold both statements, got %d", len(g.Entry().Nodes))
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+	then, els, done := one(t, g, "if.then"), one(t, g, "if.else"), one(t, g, "if.done")
+	if !hasEdge(g.Entry(), then) || !hasEdge(g.Entry(), els) {
+		t.Errorf("cond block must branch to both arms:\n%s", dump(g))
+	}
+	if !hasEdge(then, done) || !hasEdge(els, done) {
+		t.Errorf("both arms must join at if.done:\n%s", dump(g))
+	}
+	if !hasEdge(done, g.Exit()) {
+		t.Errorf("join must reach exit:\n%s", dump(g))
+	}
+}
+
+func TestReturnEdgesToExit(t *testing.T) {
+	g := build(t, "if true {\n return\n}\nreturn")
+	then := one(t, g, "if.then")
+	if !hasEdge(then, g.Exit()) {
+		t.Errorf("early return must edge to exit:\n%s", dump(g))
+	}
+	done := one(t, g, "if.done")
+	if !hasEdge(done, g.Exit()) {
+		t.Errorf("final return must edge to exit:\n%s", dump(g))
+	}
+}
+
+// TestPanicEndsPath: a panicking block has no successors — in
+// particular no edge to exit — and statements after it are
+// unreachable.
+func TestPanicEndsPath(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n panic(\"boom\")\n}\n_ = x")
+	then := one(t, g, "if.then")
+	if len(then.Succs) != 0 {
+		t.Errorf("panic block must have no successors, got %v:\n%s", then.Succs, dump(g))
+	}
+	// The non-panicking path still reaches exit.
+	if !reachable(g)[g.Exit().Index] {
+		t.Errorf("exit unreachable:\n%s", dump(g))
+	}
+}
+
+func TestPanicOnlyFunctionNeverReachesExit(t *testing.T) {
+	g := build(t, "panic(\"always\")")
+	if reachable(g)[g.Exit().Index] {
+		t.Errorf("exit must be unreachable in a function that always panics:\n%s", dump(g))
+	}
+}
+
+func TestForLoopEdges(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\n _ = i\n}")
+	head, body, post, done := one(t, g, "for.head"), one(t, g, "for.body"), one(t, g, "for.post"), one(t, g, "for.done")
+	if !hasEdge(head, body) || !hasEdge(head, done) {
+		t.Errorf("head must branch to body and done:\n%s", dump(g))
+	}
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Errorf("body -> post -> head back edge missing:\n%s", dump(g))
+	}
+}
+
+func TestRangeLoopEdges(t *testing.T) {
+	g := build(t, "xs := []int{1}\nfor _, x := range xs {\n _ = x\n}")
+	head, body, done := one(t, g, "range.head"), one(t, g, "range.body"), one(t, g, "range.done")
+	if !hasEdge(head, body) || !hasEdge(head, done) || !hasEdge(body, head) {
+		t.Errorf("range edges wrong:\n%s", dump(g))
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := build(t, "for {\n if true {\n  break\n }\n continue\n}\n_ = 1")
+	done := one(t, g, "for.done")
+	head := one(t, g, "for.head")
+	then := one(t, g, "if.then")
+	if !hasEdge(then, done) {
+		t.Errorf("break must edge to for.done:\n%s", dump(g))
+	}
+	ifDone := one(t, g, "if.done")
+	if !hasEdge(ifDone, head) {
+		t.Errorf("continue must edge back to for.head:\n%s", dump(g))
+	}
+	if !reachable(g)[g.Exit().Index] {
+		t.Errorf("break makes exit reachable:\n%s", dump(g))
+	}
+}
+
+// TestContinueInsideSwitch: an unlabeled continue inside a switch must
+// target the enclosing loop, not the switch.
+func TestContinueInsideSwitch(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\n switch i {\n case 0:\n  continue\n }\n}")
+	post := one(t, g, "for.post")
+	cases := blocksOf(g, "switch.case")
+	if len(cases) != 1 {
+		t.Fatalf("want 1 case block:\n%s", dump(g))
+	}
+	if !hasEdge(cases[0], post) {
+		t.Errorf("continue in switch must edge to for.post:\n%s", dump(g))
+	}
+}
+
+// TestGotoForward: a goto to a label further down jumps over the
+// intervening statements.
+func TestGotoForward(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\n goto out\n}\nx = 2\nout:\n_ = x")
+	lbl := one(t, g, "label.out")
+	then := one(t, g, "if.then")
+	if !hasEdge(then, lbl) {
+		t.Errorf("goto must edge to its label block:\n%s", dump(g))
+	}
+	// The skipped assignment's block must also flow into the label.
+	ifDone := one(t, g, "if.done")
+	if !hasEdge(ifDone, lbl) {
+		t.Errorf("fallthrough path must also reach the label:\n%s", dump(g))
+	}
+}
+
+// TestGotoBackward: a backward goto forms a loop.
+func TestGotoBackward(t *testing.T) {
+	g := build(t, "i := 0\nagain:\ni++\nif i < 3 {\n goto again\n}")
+	lbl := one(t, g, "label.again")
+	then := one(t, g, "if.then")
+	if !hasEdge(then, lbl) {
+		t.Errorf("backward goto must edge to its label:\n%s", dump(g))
+	}
+	if !hasEdge(g.Entry(), lbl) {
+		t.Errorf("entry must flow into the label block:\n%s", dump(g))
+	}
+	if !reachable(g)[g.Exit().Index] {
+		t.Errorf("exit must stay reachable:\n%s", dump(g))
+	}
+}
+
+// TestGotoUnreachableTail: statements after an unconditional goto get
+// an unreachable block.
+func TestGotoUnreachableTail(t *testing.T) {
+	g := build(t, "goto out\nx := 1\n_ = x\nout:")
+	unreach := blocksOf(g, "unreachable")
+	if len(unreach) != 1 {
+		t.Fatalf("want one unreachable block:\n%s", dump(g))
+	}
+	if reachable(g)[unreach[0].Index] {
+		t.Errorf("tail after goto must not be reachable:\n%s", dump(g))
+	}
+}
+
+// TestSwitchEdges: case expressions form a sequential guard chain —
+// the tag block guards the first clause, each failed guard leads to
+// the next, and a switch without default leaves via the last guard.
+// (Sequential guards are what let a dataflow analysis know the default
+// path has evaluated every case expression, e.g. an err == nil test.)
+func TestSwitchEdges(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n x = 2\ncase 2:\n x = 3\n}\n_ = x")
+	cases := blocksOf(g, "switch.case")
+	guards := blocksOf(g, "switch.guard")
+	done := one(t, g, "switch.done")
+	if len(cases) != 2 || len(guards) != 2 {
+		t.Fatalf("want 2 case and 2 guard blocks:\n%s", dump(g))
+	}
+	if !hasEdge(g.Entry(), cases[0]) || !hasEdge(g.Entry(), guards[0]) {
+		t.Errorf("tag block must guard the first case and chain onward:\n%s", dump(g))
+	}
+	if !hasEdge(guards[0], cases[1]) || !hasEdge(guards[0], guards[1]) {
+		t.Errorf("failed guard must try the next case:\n%s", dump(g))
+	}
+	for _, c := range cases {
+		if !hasEdge(c, done) {
+			t.Errorf("case must flow to done:\n%s", dump(g))
+		}
+	}
+	if hasEdge(g.Entry(), done) {
+		t.Errorf("tag block must not skip the guard chain:\n%s", dump(g))
+	}
+	// No default: only the last guard leaves the switch.
+	if !hasEdge(guards[1], done) {
+		t.Errorf("switch without default must exit via the last guard:\n%s", dump(g))
+	}
+}
+
+// TestSwitchDefaultAfterGuards: the default body is entered only after
+// every case guard has been evaluated, wherever the default clause
+// appears in source order.
+func TestSwitchDefaultAfterGuards(t *testing.T) {
+	g := build(t, "x := 1\nswitch {\ndefault:\n x = 9\ncase x == 1:\n x = 2\ncase x == 2:\n x = 3\n}\n_ = x")
+	cases := blocksOf(g, "switch.case")
+	guards := blocksOf(g, "switch.guard")
+	if len(cases) != 3 || len(guards) != 2 {
+		t.Fatalf("want 3 case and 2 guard blocks:\n%s", dump(g))
+	}
+	deflt := cases[0] // source order: default is the first clause
+	if hasEdge(g.Entry(), deflt) {
+		t.Errorf("default must not be reachable before the guards:\n%s", dump(g))
+	}
+	if !hasEdge(guards[1], deflt) {
+		t.Errorf("last failed guard must enter the default body:\n%s", dump(g))
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, "switch 1 {\ncase 1:\n fallthrough\ncase 2:\n _ = 2\n}")
+	cases := blocksOf(g, "switch.case")
+	if len(cases) != 2 {
+		t.Fatalf("want 2 case blocks:\n%s", dump(g))
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Errorf("fallthrough must edge to the next case:\n%s", dump(g))
+	}
+}
+
+// TestSelectEdges: the select head branches to every comm clause; with
+// no default the head has no edge skipping the clauses (select blocks
+// until one is ready).
+func TestSelectEdges(t *testing.T) {
+	g := build(t, "ch := make(chan int)\nselect {\ncase v := <-ch:\n _ = v\ncase ch <- 1:\n}\n_ = 1")
+	clauses := blocksOf(g, "select.clause")
+	done := one(t, g, "select.done")
+	if len(clauses) != 2 {
+		t.Fatalf("want 2 clause blocks:\n%s", dump(g))
+	}
+	for _, c := range clauses {
+		if !hasEdge(g.Entry(), c) {
+			t.Errorf("select head must edge to every clause:\n%s", dump(g))
+		}
+		if !hasEdge(c, done) {
+			t.Errorf("clause must flow to done:\n%s", dump(g))
+		}
+	}
+	if hasEdge(g.Entry(), done) {
+		t.Errorf("select without default must not skip the clauses:\n%s", dump(g))
+	}
+}
+
+// TestEmptySelectBlocksForever: select{} ends the path.
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := build(t, "select {}\n_ = 1")
+	if reachable(g)[g.Exit().Index] {
+		t.Errorf("exit must be unreachable after select{}:\n%s", dump(g))
+	}
+}
+
+// TestSelectBreak: break inside a clause targets select.done.
+func TestSelectBreak(t *testing.T) {
+	g := build(t, "ch := make(chan int)\nselect {\ncase <-ch:\n break\n}")
+	done := one(t, g, "select.done")
+	clauses := blocksOf(g, "select.clause")
+	if !hasEdge(clauses[0], done) {
+		t.Errorf("break in clause must edge to select.done:\n%s", dump(g))
+	}
+}
+
+// TestLabeledBreak: break L exits the labeled outer loop from within
+// the inner one.
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "L:\nfor {\n for {\n  break L\n }\n}\n_ = 1")
+	if !reachable(g)[g.Exit().Index] {
+		t.Errorf("break L must make exit reachable:\n%s", dump(g))
+	}
+	outerDone := blocksOf(g, "for.done")
+	// Two loops, two done blocks; the labeled break targets the outer
+	// one, which must be reachable.
+	r := reachable(g)
+	any := false
+	for _, d := range outerDone {
+		if r[d.Index] {
+			any = true
+		}
+	}
+	if !any {
+		t.Errorf("no for.done reachable after break L:\n%s", dump(g))
+	}
+}
+
+// TestDeferIsOrdinaryNode: defer statements stay in their block (the
+// analyzers give them their own meaning).
+func TestDeferIsOrdinaryNode(t *testing.T) {
+	g := build(t, "defer func() {}()\n_ = 1")
+	if len(g.Entry().Nodes) != 2 {
+		t.Errorf("defer must be an ordinary node, entry has %d nodes:\n%s", len(g.Entry().Nodes), dump(g))
+	}
+	if !hasEdge(g.Entry(), g.Exit()) {
+		t.Errorf("defer must not break the fall-off edge:\n%s", dump(g))
+	}
+}
+
+func TestFuncBodies(t *testing.T) {
+	src := `package p
+func a() { go func() { _ = 1 }() }
+func (t *T) m() {}
+type T struct{}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := FuncBodies(f)
+	if len(fns) != 3 {
+		t.Fatalf("want 3 bodies (a, literal, m), got %d", len(fns))
+	}
+	if fns[0].Name != "a" || fns[1].Name != "func literal" || fns[2].Name != "(*T).m" {
+		t.Errorf("names: %q %q %q", fns[0].Name, fns[1].Name, fns[2].Name)
+	}
+}
+
+// TestInspectSkipsFuncLit: cfg.Inspect must see the go statement but
+// not the closure's body.
+func TestInspectSkipsFuncLit(t *testing.T) {
+	g := build(t, "x := 1\ngo func() { x = 2 }()\n_ = x")
+	sawAssign := 0
+	for _, n := range g.Entry().Nodes {
+		Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.AssignStmt); ok {
+				sawAssign++
+			}
+			return true
+		})
+	}
+	if sawAssign != 2 { // x := 1 and _ = x, not x = 2
+		t.Errorf("Inspect saw %d assignments, want 2 (closure body must be skipped)", sawAssign)
+	}
+}
+
+// TestInspectRangeBoundary: a RangeStmt node stands for its
+// per-iteration assignment — Inspect must visit Key, Value, and X but
+// never the body, whose statements live in their own blocks.
+func TestInspectRangeBoundary(t *testing.T) {
+	g := build(t, "s := 0\nfor i, x := range xs {\n\ts = i + x\n}\n_ = s")
+	var rng ast.Node
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				rng = n
+			}
+		}
+	}
+	if rng == nil {
+		t.Fatal("no RangeStmt node in any block")
+	}
+	var idents []string
+	sawBodyAssign := false
+	Inspect(rng, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.Ident:
+			idents = append(idents, m.Name)
+		case *ast.AssignStmt:
+			if m.Tok.String() == "=" {
+				sawBodyAssign = true
+			}
+		}
+		return true
+	})
+	want := map[string]bool{"i": true, "x": true, "xs": true}
+	for _, id := range idents {
+		if !want[id] {
+			t.Errorf("Inspect visited %q, outside the range clause", id)
+		}
+		delete(want, id)
+	}
+	for id := range want {
+		t.Errorf("Inspect missed range-clause ident %q", id)
+	}
+	if sawBodyAssign {
+		t.Error("Inspect descended into the range body")
+	}
+}

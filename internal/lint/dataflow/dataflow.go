@@ -1,0 +1,113 @@
+// Package dataflow is a small forward-dataflow fixpoint engine over
+// the CFGs of package cfg. An analyzer plugs in a lattice — entry
+// fact, per-node transfer function, join, equality — and reads the
+// stable per-block input/output facts back; the reporting pass then
+// replays the transfer function over each reachable block with its
+// input fact, emitting diagnostics at the nodes where the fact says
+// something is wrong. Keeping reporting out of the fixpoint loop means
+// a block re-visited during iteration never reports twice.
+//
+// The engine is a join-over-paths (may/must is the lattice's choice):
+// a union join computes "holds on some path", an intersection join
+// "holds on all paths". Blocks never reached from entry keep no fact
+// at all — Result.Reached tells them apart from reached blocks with an
+// empty fact, and joins only fold the facts of reached predecessors.
+package dataflow
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/cfg"
+)
+
+// Lattice defines the facts of one forward analysis. Implementations
+// must treat facts as immutable values: Transfer and Join return new
+// (or unchanged) facts and never mutate their inputs — the engine
+// aliases facts freely across blocks.
+type Lattice[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Transfer applies one CFG node to the fact.
+	Transfer(n ast.Node, in F) F
+	// Join folds the facts of two predecessor edges.
+	Join(a, b F) F
+	// Equal reports whether two facts are indistinguishable; the
+	// fixpoint stops when every block's input is Equal to the previous
+	// round's.
+	Equal(a, b F) bool
+}
+
+// Result carries the stable facts, indexed by cfg block index.
+type Result[F any] struct {
+	In      []F
+	Out     []F
+	Reached []bool
+}
+
+// Forward runs the analysis to fixpoint. Termination is the lattice's
+// responsibility (finite height, monotone transfer); the analyzers in
+// internal/lint use finite variable sets, which is safely both.
+func Forward[F any](g *cfg.CFG, lat Lattice[F]) *Result[F] {
+	n := len(g.Blocks)
+	res := &Result[F]{In: make([]F, n), Out: make([]F, n), Reached: make([]bool, n)}
+
+	preds := make([][]*cfg.Block, n)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+
+	apply := func(b *cfg.Block, in F) F {
+		out := in
+		for _, node := range b.Nodes {
+			out = lat.Transfer(node, out)
+		}
+		return out
+	}
+
+	entry := g.Entry().Index
+	work := []*cfg.Block{g.Entry()}
+	queued := make([]bool, n)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		// Fold the reached predecessors (entry keeps its Entry fact as
+		// an extra "predecessor").
+		var in F
+		have := false
+		if b.Index == entry {
+			in = lat.Entry()
+			have = true
+		}
+		for _, p := range preds[b.Index] {
+			if !res.Reached[p.Index] {
+				continue
+			}
+			if !have {
+				in = res.Out[p.Index]
+				have = true
+			} else {
+				in = lat.Join(in, res.Out[p.Index])
+			}
+		}
+		if !have {
+			continue // not reachable (yet)
+		}
+		if res.Reached[b.Index] && lat.Equal(in, res.In[b.Index]) {
+			continue
+		}
+		res.In[b.Index] = in
+		res.Reached[b.Index] = true
+		res.Out[b.Index] = apply(b, in)
+		for _, s := range b.Succs {
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,191 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// assigned is a must-analysis: the set of variable names assigned on
+// EVERY path to a program point (join = intersection). Facts are
+// immutable sorted-name strings, so Equal is string equality.
+type assigned struct{}
+
+type fact string // "\x00"-joined sorted names, "" = none
+
+func (assigned) Entry() fact { return "" }
+
+func (assigned) Transfer(n ast.Node, in fact) fact {
+	names := fromFact(in)
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if as, ok := m.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					names[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return toFact(names)
+}
+
+func (assigned) Join(a, b fact) fact {
+	an, bn := fromFact(a), fromFact(b)
+	both := map[string]bool{}
+	for n := range an {
+		if bn[n] {
+			both[n] = true
+		}
+	}
+	return toFact(both)
+}
+
+func (assigned) Equal(a, b fact) bool { return a == b }
+
+func fromFact(f fact) map[string]bool {
+	m := map[string]bool{}
+	if f == "" {
+		return m
+	}
+	for _, n := range strings.Split(string(f), "\x00") {
+		m[n] = true
+	}
+	return m
+}
+
+func toFact(m map[string]bool) fact {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return fact(strings.Join(names, "\x00"))
+}
+
+func run(t *testing.T, body string) (atExit map[string]bool, res *Result[fact], g *cfg.CFG) {
+	t.Helper()
+	src := "package p\nvar x, y int\nfunc f(c bool) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fd *ast.FuncDecl
+	for _, d := range f.Decls {
+		if d, ok := d.(*ast.FuncDecl); ok {
+			fd = d
+		}
+	}
+	g = cfg.New(fd.Body)
+	res = Forward[fact](g, assigned{})
+	return fromFact(res.In[g.Exit().Index]), res, g
+}
+
+// TestBranchJoin: a must-analysis keeps only facts true on both arms.
+func TestBranchJoin(t *testing.T) {
+	exit, _, _ := run(t, `
+x = 1
+if c {
+	y = 2
+}`)
+	if !exit["x"] {
+		t.Errorf("x assigned on every path, missing from exit fact")
+	}
+	if exit["y"] {
+		t.Errorf("y assigned on one arm only, must not survive the join")
+	}
+}
+
+func TestBothArms(t *testing.T) {
+	exit, _, _ := run(t, `
+if c {
+	y = 1
+} else {
+	y = 2
+}`)
+	if !exit["y"] {
+		t.Errorf("y assigned on both arms, must survive the join")
+	}
+}
+
+// TestLoopMayNotRun: an assignment only inside a for body does not
+// hold at the loop exit (the body may run zero times), but an
+// assignment before the loop does.
+func TestLoopMayNotRun(t *testing.T) {
+	exit, _, _ := run(t, `
+x = 1
+for i := 0; i < 3; i++ {
+	y = 2
+}`)
+	if !exit["x"] || exit["y"] {
+		t.Errorf("exit fact wrong: x=%v (want true) y=%v (want false)", exit["x"], exit["y"])
+	}
+}
+
+// TestFixpointThroughBackEdge: facts flowing around a loop stabilise
+// (the loop body sees its own output joined with the pre-loop fact).
+func TestFixpointThroughBackEdge(t *testing.T) {
+	_, res, g := run(t, `
+x = 1
+for c {
+	y = 2
+}
+_ = x`)
+	// The loop head is visited at least twice (pre-loop edge and back
+	// edge); its input must have stabilised to {x} — y is killed by the
+	// intersection with the zero-iteration path.
+	for _, b := range g.Blocks {
+		if b.Kind != "for.head" {
+			continue
+		}
+		in := fromFact(res.In[b.Index])
+		if !in["x"] || in["y"] {
+			t.Errorf("for.head fact: x=%v (want true) y=%v (want false)", in["x"], in["y"])
+		}
+	}
+}
+
+// TestUnreachedBlocksKeepNoFact: code after a return is unreached and
+// contributes nothing to joins.
+func TestUnreachedBlocksKeepNoFact(t *testing.T) {
+	exit, res, g := run(t, `
+x = 1
+return
+y = 2
+_ = y`)
+	if !exit["x"] || exit["y"] {
+		t.Errorf("exit fact wrong: %v", exit)
+	}
+	reachedUnreachable := false
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" && res.Reached[b.Index] {
+			reachedUnreachable = true
+		}
+	}
+	if reachedUnreachable {
+		t.Errorf("unreachable block marked reached")
+	}
+}
+
+// TestPanicPathExcluded: a fact forced only on the panicking path
+// never reaches exit, because panic blocks have no exit edge.
+func TestPanicPathExcluded(t *testing.T) {
+	exit, _, _ := run(t, `
+if c {
+	x = 1
+	panic("boom")
+}
+y = 2`)
+	if exit["x"] {
+		t.Errorf("x only assigned on a panicking path, must not reach exit")
+	}
+	if !exit["y"] {
+		t.Errorf("y assigned on the only non-panicking path, must reach exit")
+	}
+}

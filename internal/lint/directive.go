@@ -10,10 +10,36 @@ import (
 // framework ignores them), so without this check a typo like
 // `//rtwlint:ignore floateqq` would silently leave the finding
 // unsuppressed in one build and the directive unexplained forever.
+//
+// The Finish hook runs after every analyzer of the invocation has
+// completed and reports stale directives: a well-formed suppression
+// that suppressed zero diagnostics is itself an error — the code it
+// excused has been fixed (or the analyzer sharpened), and keeping the
+// directive would silently swallow the next real finding on that line.
+// Stale reports carry a suggested fix deleting the directive, applied
+// by `rtwlint -fix`. A directive naming an analyzer that did not run
+// (e.g. under -only) is never judged stale.
 var Directive = &analysis.Analyzer{
-	Name: "directive",
-	Doc:  "validates //rtwlint:ignore suppression directives",
-	Run:  runDirective,
+	Name:   "directive",
+	Doc:    "validates //rtwlint:ignore suppression directives and flags stale ones",
+	Run:    runDirective,
+	Finish: finishDirective,
+}
+
+func finishDirective(pass *analysis.Pass, unused []analysis.Directive) error {
+	for _, d := range unused {
+		pass.Report(analysis.Diagnostic{
+			Pos: d.Pos,
+			End: d.End,
+			Message: "stale rtwlint directive: it suppresses no \"" + d.Analyzer +
+				"\" diagnostics; delete it (or fix the regression it was hiding)",
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message:   "delete the stale directive",
+				TextEdits: []analysis.TextEdit{{Pos: d.Pos, End: d.End}},
+			}},
+		})
+	}
+	return nil
 }
 
 // knownAnalyzers is computed lazily (not from Analyzers() at init) to

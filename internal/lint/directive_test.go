@@ -3,11 +3,26 @@ package lint
 import (
 	"testing"
 
+	"repro/internal/lint/analysis"
 	"repro/internal/lint/analysistest"
 )
 
 func TestDirective(t *testing.T) {
 	analysistest.Run(t, Directive, "testdata/src/directive", "repro/internal/lintfix/directive")
+}
+
+// TestStaleDirective: a well-formed suppression that suppressed zero
+// diagnostics is reported, but only when the analyzer it names ran.
+func TestStaleDirective(t *testing.T) {
+	analysistest.RunAnalyzers(t, []*analysis.Analyzer{Directive, Floateq},
+		"testdata/src/staledirective", "repro/internal/lintfix/staledirective")
+}
+
+// TestStaleDirectiveFix: the stale report's delete fix removes exactly
+// the directive comment.
+func TestStaleDirectiveFix(t *testing.T) {
+	analysistest.RunWithFixes(t, []*analysis.Analyzer{Directive, Floateq},
+		"testdata/src/staledirective", "repro/internal/lintfix/staledirective")
 }
 
 // TestAnalyzerNamesUnique: directive suppression is keyed by analyzer

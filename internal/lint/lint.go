@@ -15,7 +15,20 @@
 //   - errdrop: error returns from this module's own functions must not
 //     be silently discarded (stricter than go vet, scoped to repro/...).
 //   - directive: every //rtwlint:ignore suppression must name a known
-//     analyzer and carry a justification.
+//     analyzer, carry a justification, and actually suppress something.
+//
+// The flow-sensitive analyzers run on the internal/lint/cfg +
+// internal/lint/dataflow engine and guard the concurrent runtime the
+// admission daemon grew around the feasibility core:
+//
+//   - lockorder: no double-locking of a sync.Mutex/RWMutex instance, no
+//     ABBA acquisition-order inversions between lock classes.
+//   - lostcancel: a context.WithCancel/WithTimeout/WithDeadline cancel
+//     func must be called on every path out of the function.
+//   - nilerr: a call's result value must not be consumed on a path
+//     where the accompanying error was never checked.
+//   - loopcapture: go/defer closures must not capture variables the
+//     function rewrites after the spawn point.
 //
 // See docs/LINTING.md for the full rationale and suppression rules.
 package lint
@@ -38,6 +51,10 @@ func init() {
 		Directive,
 		Errdrop,
 		Floateq,
+		Lockorder,
+		Loopcapture,
+		Lostcancel,
+		Nilerr,
 		Unsyncshared,
 	}
 }

@@ -1,0 +1,526 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+)
+
+// Lockorder is the flow-sensitive mutex discipline check. It tracks the
+// set of sync.Mutex/sync.RWMutex locks that may be held at each program
+// point (a forward may-analysis over the function's CFG) and reports
+//
+//   - double lock: an acquisition of a mutex instance that may already
+//     be held on some path — `c.mu.Lock()` twice, or `mu.RLock()` while
+//     `mu.Lock()` is in effect — a guaranteed self-deadlock on that
+//     path (Go mutexes are not reentrant);
+//   - lock-order inversion: two lock classes acquired in the order A→B
+//     somewhere and B→A somewhere else in the same package (directly or
+//     through an in-package call), the classic ABBA deadlock between
+//     concurrent goroutines.
+//
+// Lock *instances* are identified by the selector path of the receiver
+// (`c.mu` in one function and `c.mu` in another are only compared
+// within a function, so two different Controllers never alias); lock
+// *classes*, used for ordering, are identified by the declared field or
+// variable (`Controller.mu`), the granularity at which an ordering
+// discipline is stated. A `defer mu.Unlock()` releases at function
+// exit, so it keeps the lock held for the rest of the function — which
+// is exactly what the double-lock check needs to see.
+var Lockorder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "detects double-locking and inconsistent mutex acquisition order",
+	Run:  runLockorder,
+}
+
+// lockMode distinguishes read and write acquisitions of an RWMutex.
+type lockMode int
+
+const (
+	modeWrite lockMode = iota
+	modeRead
+)
+
+// lockTab interns lock instances and classes discovered during one
+// package run, so dataflow facts can be small sorted int sets.
+type lockTab struct {
+	instIDs   map[string]int // instance key -> id
+	instName  []string       // id -> display ("c.mu")
+	instClass []int          // id -> class id
+	classIDs  map[string]int // class key -> id
+	className []string       // id -> display ("Controller.mu")
+}
+
+func newLockTab() *lockTab {
+	return &lockTab{instIDs: map[string]int{}, classIDs: map[string]int{}}
+}
+
+func (t *lockTab) internClass(key, name string) int {
+	if id, ok := t.classIDs[key]; ok {
+		return id
+	}
+	id := len(t.className)
+	t.classIDs[key] = id
+	t.className = append(t.className, name)
+	return id
+}
+
+func (t *lockTab) internInst(key, name string, class int) int {
+	if id, ok := t.instIDs[key]; ok {
+		return id
+	}
+	id := len(t.instName)
+	t.instIDs[key] = id
+	t.instName = append(t.instName, name)
+	t.instClass = append(t.instClass, class)
+	return id
+}
+
+// lockOp is one Lock/Unlock/RLock/RUnlock call resolved to an interned
+// instance.
+type lockOp struct {
+	inst    int
+	mode    lockMode
+	acquire bool
+	pos     token.Pos
+}
+
+// orderEdge records "class b acquired while class a held" at pos.
+type orderEdge struct {
+	a, b int
+	pos  token.Pos
+}
+
+func runLockorder(pass *analysis.Pass) error {
+	tab := newLockTab()
+	lo := &lockorderPass{pass: pass, tab: tab}
+
+	// Pass 0: per-function transitive acquisition summaries, for edges
+	// through in-package calls (f holds A and calls g, which locks B).
+	lo.buildSummaries()
+
+	// Pass 1: dataflow every function, collecting double-lock reports
+	// and order edges.
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, fn := range cfg.FuncBodies(f) {
+			lo.analyze(fn)
+		}
+	}
+
+	// Pass 2: report inversions. An edge a->b inverts when b->a was
+	// also observed (distinct classes only: two instances of one class
+	// need an instance-level order no package-wide discipline states).
+	byPair := map[[2]int][]token.Pos{}
+	for _, e := range lo.edges {
+		byPair[[2]int{e.a, e.b}] = append(byPair[[2]int{e.a, e.b}], e.pos)
+	}
+	type report struct {
+		pos token.Pos
+		msg string
+	}
+	var reports []report
+	for pair, positions := range byPair {
+		a, b := pair[0], pair[1]
+		if a == b {
+			continue
+		}
+		rev, ok := byPair[[2]int{b, a}]
+		if !ok {
+			continue
+		}
+		other := rev[0]
+		for _, p := range rev[1:] {
+			if p < other {
+				other = p
+			}
+		}
+		op := pass.Fset.Position(other)
+		for _, p := range positions {
+			reports = append(reports, report{p, fmt.Sprintf(
+				"lock order inversion: %s acquired while %s is held, but the opposite order is used at %s:%d (possible ABBA deadlock)",
+				tab.className[b], tab.className[a], shortFile(op.Filename), op.Line)})
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].pos != reports[j].pos {
+			return reports[i].pos < reports[j].pos
+		}
+		return reports[i].msg < reports[j].msg
+	})
+	for _, r := range reports {
+		pass.Reportf(r.pos, "%s", r.msg)
+	}
+	return nil
+}
+
+type lockorderPass struct {
+	pass  *analysis.Pass
+	tab   *lockTab
+	edges []orderEdge
+	// summary maps an in-package function to the set of lock classes it
+	// may acquire, transitively through in-package calls.
+	summary map[*types.Func]map[int]bool
+	bodies  map[*types.Func]*ast.BlockStmt
+}
+
+// buildSummaries computes, for every function declared in the package,
+// the set of lock classes it may acquire — directly or via calls to
+// other in-package functions — by fixpoint over the static call graph.
+// Function literals are excluded: a closure handed to `go` runs
+// concurrently, and a closure invoked inline is rare enough in this
+// codebase to trade for the precision.
+func (lo *lockorderPass) buildSummaries() {
+	lo.summary = map[*types.Func]map[int]bool{}
+	lo.bodies = map[*types.Func]*ast.BlockStmt{}
+	calls := map[*types.Func][]*types.Func{}
+
+	for _, f := range lo.pass.Files {
+		if analysis.IsTestFile(lo.pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := lo.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			lo.bodies[obj] = fd.Body
+			acq := map[int]bool{}
+			cfg.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.DeferStmt, *ast.GoStmt:
+					return false // deferred/async effects are not "during f"
+				case *ast.CallExpr:
+					if op, ok := lo.resolveLockOp(n); ok {
+						if op.acquire {
+							acq[lo.tab.instClass[op.inst]] = true
+						}
+					} else if callee := lo.staticCallee(n); callee != nil {
+						calls[obj] = append(calls[obj], callee)
+					}
+				}
+				return true
+			})
+			lo.summary[obj] = acq
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			acq := lo.summary[fn]
+			for _, c := range callees {
+				for class := range lo.summary[c] {
+					if !acq[class] {
+						acq[class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// staticCallee resolves a call to a function or method declared in this
+// package, or nil.
+func (lo *lockorderPass) staticCallee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = lo.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = lo.pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != lo.pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// heldFact is a dataflow fact: the sorted set of (instance, mode) pairs
+// that may be held, encoded as a string so facts are immutable values.
+type heldFact string
+
+type heldLattice struct{ lo *lockorderPass }
+
+func (heldLattice) Entry() heldFact { return "" }
+
+func (l heldLattice) Transfer(n ast.Node, in heldFact) heldFact {
+	return l.lo.step(n, in, nil)
+}
+
+func (heldLattice) Join(a, b heldFact) heldFact {
+	set := decodeHeld(a)
+	for k := range decodeHeld(b) {
+		set[k] = true
+	}
+	return encodeHeld(set)
+}
+
+func (heldLattice) Equal(a, b heldFact) bool { return a == b }
+
+func decodeHeld(f heldFact) map[int]bool {
+	set := map[int]bool{}
+	if f == "" {
+		return set
+	}
+	for _, s := range strings.Split(string(f), ",") {
+		v, _ := strconv.Atoi(s)
+		set[v] = true
+	}
+	return set
+}
+
+func encodeHeld(set map[int]bool) heldFact {
+	if len(set) == 0 {
+		return ""
+	}
+	vals := make([]int, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return heldFact(strings.Join(parts, ","))
+}
+
+// held items pack (instance, mode) into one int.
+func heldItem(inst int, mode lockMode) int { return inst*2 + int(mode) }
+func itemInst(item int) int                { return item / 2 }
+func itemMode(item int) lockMode           { return lockMode(item % 2) }
+
+// event is one acquisition observed during the reporting replay, with
+// the full held set in effect just before it.
+type event struct {
+	op   lockOp
+	held map[int]bool
+	// callee is set instead of op for in-package call sites.
+	callee *types.Func
+	pos    token.Pos
+}
+
+// step is the shared transfer function: it applies every lock operation
+// of the node to the fact, invoking emit (when non-nil, i.e. during the
+// reporting replay) for each acquisition and in-package call.
+func (lo *lockorderPass) step(n ast.Node, in heldFact, emit func(event)) heldFact {
+	set := decodeHeld(in)
+	cfg.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false // deferred unlocks keep the lock held; go runs elsewhere
+		case *ast.CallExpr:
+			if op, ok := lo.resolveLockOp(m); ok {
+				if op.acquire {
+					if emit != nil {
+						emit(event{op: op, held: copySet(set), pos: op.pos})
+					}
+					set[heldItem(op.inst, op.mode)] = true
+				} else {
+					delete(set, heldItem(op.inst, op.mode))
+				}
+			} else if emit != nil {
+				if callee := lo.staticCallee(m); callee != nil && len(set) > 0 {
+					emit(event{callee: callee, held: copySet(set), pos: m.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return encodeHeld(set)
+}
+
+func copySet(set map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(set))
+	for k := range set {
+		out[k] = true
+	}
+	return out
+}
+
+// analyze runs the held-set dataflow over one function and replays the
+// reached blocks to report double locks and record order edges.
+func (lo *lockorderPass) analyze(fn cfg.Func) {
+	g := cfg.New(fn.Body)
+	res := dataflow.Forward[heldFact](g, heldLattice{lo})
+	for _, b := range g.Blocks {
+		if !res.Reached[b.Index] {
+			continue
+		}
+		fact := res.In[b.Index]
+		for _, n := range b.Nodes {
+			fact = lo.step(n, fact, func(ev event) {
+				if ev.callee != nil {
+					for class := range lo.summary[ev.callee] {
+						for item := range ev.held {
+							lo.edges = append(lo.edges, orderEdge{
+								a: lo.tab.instClass[itemInst(item)], b: class, pos: ev.pos})
+						}
+					}
+					return
+				}
+				inst := ev.op.inst
+				for item := range ev.held {
+					if itemInst(item) != inst {
+						lo.edges = append(lo.edges, orderEdge{
+							a: lo.tab.instClass[itemInst(item)],
+							b: lo.tab.instClass[inst], pos: ev.pos})
+						continue
+					}
+					// Same instance already held: write-write,
+					// write-read, and read-write all self-deadlock;
+					// recursive RLock is legal (if discouraged).
+					if ev.op.mode == modeWrite || itemMode(item) == modeWrite {
+						verb := "Lock"
+						if ev.op.mode == modeRead {
+							verb = "RLock"
+						}
+						lo.pass.Reportf(ev.pos,
+							"%s of %s, which may already be held here (self-deadlock: Go mutexes are not reentrant)",
+							verb, lo.tab.instName[inst])
+					}
+				}
+			})
+		}
+	}
+}
+
+// resolveLockOp recognises m as a (R)Lock/(R)Unlock call on a
+// sync.Mutex or sync.RWMutex reachable through a selector path of
+// identifiers, and interns the instance.
+func (lo *lockorderPass) resolveLockOp(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var mode lockMode
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock":
+		mode, acquire = modeWrite, true
+	case "Unlock":
+		mode, acquire = modeWrite, false
+	case "RLock":
+		mode, acquire = modeRead, true
+	case "RUnlock":
+		mode, acquire = modeRead, false
+	default:
+		return lockOp{}, false
+	}
+	// The method must be sync's, not an unrelated Lock().
+	selection, ok := lo.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	key, name, class := lo.resolvePath(sel.X)
+	if key == "" {
+		return lockOp{}, false
+	}
+	inst := lo.tab.internInst(key, name, class)
+	return lockOp{inst: inst, mode: mode, acquire: acquire, pos: call.Pos()}, true
+}
+
+// resolvePath walks a selector chain (`mu`, `c.mu`, `s.inner.mu`,
+// `pkgvar.mu`) down to its root object, returning an instance key (the
+// object chain), a display name, and the interned class id (keyed by
+// the final declared field or variable). Anything rooted in a map
+// index, call result, or other non-identifier yields "" — unkeyable,
+// skipped.
+func (lo *lockorderPass) resolvePath(e ast.Expr) (key, name string, class int) {
+	var objs []types.Object
+	var parts []string
+	var recvType types.Type
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := lo.pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = lo.pass.TypesInfo.Defs[x]
+			}
+			if _, ok := obj.(*types.Var); !ok {
+				return "", "", 0
+			}
+			objs = append(objs, obj)
+			parts = append(parts, x.Name)
+			return lo.finishPath(objs, parts, recvType)
+		case *ast.SelectorExpr:
+			if selection, ok := lo.pass.TypesInfo.Selections[x]; ok {
+				field, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return "", "", 0
+				}
+				objs = append(objs, field)
+				parts = append(parts, x.Sel.Name)
+				if recvType == nil {
+					recvType = lo.pass.TypesInfo.Types[x.X].Type
+				}
+				e = x.X
+				continue
+			}
+			// Qualified identifier pkg.Var: the root is the var itself.
+			if v, ok := lo.pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+				objs = append(objs, v)
+				parts = append(parts, x.Sel.Name)
+				return lo.finishPath(objs, parts, recvType)
+			}
+			return "", "", 0
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return "", "", 0
+		}
+	}
+}
+
+// finishPath builds the interned key/name/class from the collected
+// leaf-to-root chain.
+func (lo *lockorderPass) finishPath(objs []types.Object, parts []string, recvType types.Type) (string, string, int) {
+	// objs/parts were collected leaf-first; reverse for display.
+	var kb, nb strings.Builder
+	for i := len(objs) - 1; i >= 0; i-- {
+		fmt.Fprintf(&kb, "%p/", objs[i])
+		if nb.Len() > 0 {
+			nb.WriteByte('.')
+		}
+		nb.WriteString(parts[i])
+	}
+	leaf := objs[0]
+	classKey := fmt.Sprintf("%p", leaf)
+	className := parts[0]
+	if v, ok := leaf.(*types.Var); ok && v.IsField() && recvType != nil {
+		t := recvType
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		className = types.TypeString(t, types.RelativeTo(lo.pass.Pkg)) + "." + parts[0]
+	}
+	return kb.String(), nb.String(), lo.tab.internClass(classKey, className)
+}
+
+func shortFile(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

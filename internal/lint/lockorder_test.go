@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, Lockorder, "testdata/src/lockorder", "repro/internal/lintfix/lockorder")
+}

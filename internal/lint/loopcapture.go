@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+)
+
+// Loopcapture flags `go func(){...}()` and `defer func(){...}()`
+// closures that capture a variable the function rewrites after the
+// spawn point:
+//
+//   - for a goroutine, a reassignment reachable (in the CFG) from the
+//     spawn races with the closure's reads — the classic "loop variable
+//     captured by goroutine" bug generalised to any variable the loop
+//     (or straight-line code) mutates after starting the goroutine;
+//   - for a deferred closure, the hazard needs a loop: when spawn and
+//     write sit on a common cycle, every deferred call observes the
+//     final value, not the per-iteration one. Outside loops, mutating
+//     after a defer is the idiomatic way to observe a final value
+//     (named results, err inspection) and stays silent.
+//
+// The module sets `go 1.22`, so loop variables are per-iteration:
+// capturing a range/for variable is safe by itself, and the loop's own
+// post statement (`i++`) is exempt. A write to the loop variable inside
+// the body after the spawn still mutates that iteration's instance and
+// is reported. Only direct reassignments of the captured variable
+// count — writes through pointers or to fields are the mutex-guarded
+// territory unsyncshared already polices.
+var Loopcapture = &analysis.Analyzer{
+	Name: "loopcapture",
+	Doc:  "detects go/defer closures capturing variables mutated after the spawn",
+	Run:  runLoopcapture,
+}
+
+func runLoopcapture(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, fn := range cfg.FuncBodies(f) {
+			analyzeLoopcapture(pass, fn)
+		}
+	}
+	return nil
+}
+
+// varWrite is one direct reassignment of a variable.
+type varWrite struct {
+	block, idx int
+	obj        types.Object
+	pos        token.Pos
+}
+
+// spawnSite is one go/defer of a function literal.
+type spawnSite struct {
+	block, idx int
+	lit        *ast.FuncLit
+	pos        token.Pos
+	isDefer    bool
+}
+
+func analyzeLoopcapture(pass *analysis.Pass, fn cfg.Func) {
+	g := cfg.New(fn.Body)
+
+	// Per-iteration exemption: writes to a variable declared by its own
+	// for-Init, performed by that loop's post statement, are the go1.22
+	// per-iteration copy mechanics, not a shared mutation.
+	exempt := map[ast.Node]map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Init == nil || fs.Post == nil {
+			return true
+		}
+		as, ok := fs.Init.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		objs := map[types.Object]bool{}
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+		if len(objs) > 0 {
+			exempt[ast.Node(fs.Post)] = objs
+		}
+		return true
+	})
+
+	var writes []varWrite
+	var spawns []spawnSite
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					spawns = append(spawns, spawnSite{b.Index, i, lit, s.Pos(), false})
+				}
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					spawns = append(spawns, spawnSite{b.Index, i, lit, s.Pos(), true})
+				}
+			}
+			ex := exempt[n]
+			recordWrite := func(id *ast.Ident) {
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil || (ex != nil && ex[obj]) {
+					return
+				}
+				writes = append(writes, varWrite{b.Index, i, obj, id.Pos()})
+			}
+			cfg.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					for _, l := range m.Lhs {
+						if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+							recordWrite(id)
+						}
+					}
+				case *ast.IncDecStmt:
+					if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+						recordWrite(id)
+					}
+				case *ast.RangeStmt:
+					if m.Tok == token.ASSIGN {
+						for _, e := range []ast.Expr{m.Key, m.Value} {
+							if id, ok := e.(*ast.Ident); ok {
+								recordWrite(id)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(spawns) == 0 || len(writes) == 0 {
+		return
+	}
+
+	// reach[b] = blocks reachable from b's successors (b itself when it
+	// sits on a cycle), computed on demand.
+	reach := map[int]map[int]bool{}
+	reachFrom := func(b int) map[int]bool {
+		if r, ok := reach[b]; ok {
+			return r
+		}
+		r := map[int]bool{}
+		work := append([]*cfg.Block(nil), g.Blocks[b].Succs...)
+		for len(work) > 0 {
+			nb := work[len(work)-1]
+			work = work[:len(work)-1]
+			if r[nb.Index] {
+				continue
+			}
+			r[nb.Index] = true
+			work = append(work, nb.Succs...)
+		}
+		reach[b] = r
+		return r
+	}
+	after := func(aBlock, aIdx, bBlock, bIdx int) bool {
+		// Does (bBlock,bIdx) execute after (aBlock,aIdx) on some path?
+		if aBlock == bBlock && bIdx > aIdx {
+			return true
+		}
+		r := reachFrom(aBlock)
+		if aBlock == bBlock {
+			return r[aBlock] // same block again only via a cycle
+		}
+		return r[bBlock]
+	}
+
+	for _, sp := range spawns {
+		captured := capturedVars(pass, fn, sp.lit)
+		if len(captured) == 0 {
+			continue
+		}
+		// Report each captured variable once, at its earliest
+		// qualifying write.
+		best := map[types.Object]token.Pos{}
+		for _, w := range writes {
+			if !captured[w.obj] {
+				continue
+			}
+			if !after(sp.block, sp.idx, w.block, w.idx) {
+				continue
+			}
+			if sp.isDefer && !after(w.block, w.idx, sp.block, sp.idx) {
+				continue // defers only matter when spawn and write share a cycle
+			}
+			if p, ok := best[w.obj]; !ok || w.pos < p {
+				best[w.obj] = w.pos
+			}
+		}
+		objs := make([]types.Object, 0, len(best))
+		for obj := range best {
+			objs = append(objs, obj)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+		for _, obj := range objs {
+			wp := pass.Fset.Position(best[obj])
+			if sp.isDefer {
+				pass.Reportf(sp.pos,
+					"deferred closure captures %s, which is reassigned at %s:%d on the same loop; every deferred call will observe the final value — pass it as an argument",
+					obj.Name(), shortFile(wp.Filename), wp.Line)
+			} else {
+				pass.Reportf(sp.pos,
+					"goroutine closure captures %s, which is reassigned at %s:%d after the goroutine may have started (data race) — pass it as an argument",
+					obj.Name(), shortFile(wp.Filename), wp.Line)
+			}
+		}
+	}
+}
+
+// capturedVars returns the variables referenced by the literal but
+// declared outside it, within the enclosing frame — the closure's free
+// variables, excluding fields (selector writes are not direct
+// reassignments) and package-level state.
+func capturedVars(pass *analysis.Pass, fn cfg.Func, lit *ast.FuncLit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() < fn.Node.Pos() || v.Pos() >= fn.Node.End() {
+			return true // declared outside this frame (outer frames report their own spawns)
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own locals and parameters
+		}
+		out[v] = true
+		return true
+	})
+	return out
+}

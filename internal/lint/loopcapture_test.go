@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestLoopcapture(t *testing.T) {
+	analysistest.Run(t, Loopcapture, "testdata/src/loopcapture", "repro/internal/lintfix/loopcapture")
+}

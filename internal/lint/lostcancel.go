@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+)
+
+// Lostcancel flags context.WithCancel / WithTimeout / WithDeadline
+// calls whose cancel function is not called on every path out of the
+// function: the classic context leak go vet's lostcancel catches, here
+// rebuilt on the repo's own CFG/dataflow engine. The fact is the set of
+// cancel functions still "pending"; any appearance of the cancel
+// variable — a direct call, `defer cancel()`, capture in a closure,
+// passing it onward, returning it — resolves the obligation, so only a
+// cancel that genuinely vanishes on some non-panicking path is
+// reported. Discarding the cancel into the blank identifier is reported
+// unconditionally.
+//
+// Diagnostics carry a suggested fix — `defer cancel()` immediately
+// after the creation — whenever the creation is a plain statement
+// outside any loop (cancel functions are idempotent, so an extra defer
+// is always safe).
+var Lostcancel = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  "detects context cancel functions not called on every path",
+	Run:  runLostcancel,
+}
+
+// cancelSite is one context.WithX creation being tracked.
+type cancelSite struct {
+	pos  token.Pos
+	fun  string       // WithCancel, WithTimeout, WithDeadline
+	obj  types.Object // the cancel variable (never nil; blank discards report immediately)
+	name string       // cancel variable name, for the fix text
+	// insertAfter, when valid, is the end of the creating statement —
+	// the point a `defer name()` fix can be inserted.
+	insertAfter token.Pos
+}
+
+type lostcancelPass struct {
+	pass  *analysis.Pass
+	sites []cancelSite
+	byObj map[types.Object][]int
+	// fixable records creations eligible for the defer fix (statement
+	// directly in a block, not inside a loop).
+	fixable map[*ast.AssignStmt]bool
+}
+
+func runLostcancel(pass *analysis.Pass) error {
+	lp := &lostcancelPass{pass: pass, byObj: map[types.Object][]int{}, fixable: map[*ast.AssignStmt]bool{}}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		lp.markFixable(f)
+		for _, fn := range cfg.FuncBodies(f) {
+			lp.analyze(fn)
+		}
+	}
+	return nil
+}
+
+// markFixable walks the file recording which assignment statements sit
+// directly in a block with no enclosing for/range loop — the positions
+// where inserting `defer cancel()` right after is both syntactically
+// valid and does not pile up deferred calls.
+func (lp *lostcancelPass) markFixable(f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && len(stack) > 0 {
+			if _, inBlock := stack[len(stack)-1].(*ast.BlockStmt); inBlock {
+				inLoop := false
+				for _, a := range stack {
+					switch a.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						inLoop = true
+					case *ast.FuncLit:
+						inLoop = false // the closure is its own frame
+					}
+				}
+				if !inLoop {
+					lp.fixable[as] = true
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// creation recognises `ctx, cancel := context.WithX(...)` (or `=`) and
+// returns the assignment's cancel ident, or nil.
+func (lp *lostcancelPass) creation(n ast.Node) (*ast.AssignStmt, *ast.Ident, string) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil, nil, ""
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, nil, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, ""
+	}
+	fn, ok := lp.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return nil, nil, ""
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline":
+	default:
+		return nil, nil, ""
+	}
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return nil, nil, ""
+	}
+	return as, id, fn.Name()
+}
+
+// internSite registers a creation, returning its id.
+func (lp *lostcancelPass) internSite(as *ast.AssignStmt, id *ast.Ident, fun string) int {
+	obj := lp.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = lp.pass.TypesInfo.Uses[id]
+	}
+	for _, i := range lp.byObj[obj] {
+		if lp.sites[i].pos == as.Pos() {
+			return i
+		}
+	}
+	s := cancelSite{pos: as.Pos(), fun: fun, obj: obj, name: id.Name}
+	if lp.fixable[as] {
+		s.insertAfter = as.End()
+	}
+	i := len(lp.sites)
+	lp.sites = append(lp.sites, s)
+	lp.byObj[obj] = append(lp.byObj[obj], i)
+	return i
+}
+
+// pendingFact is the sorted set of pending site ids, string-encoded.
+type pendingFact string
+
+type pendingLattice struct{ lp *lostcancelPass }
+
+func (pendingLattice) Entry() pendingFact { return "" }
+
+func (l pendingLattice) Transfer(n ast.Node, in pendingFact) pendingFact {
+	return l.lp.step(n, in, nil)
+}
+
+func (pendingLattice) Join(a, b pendingFact) pendingFact {
+	set := decodePending(a)
+	for k := range decodePending(b) {
+		set[k] = true
+	}
+	return encodePending(set)
+}
+
+func (pendingLattice) Equal(a, b pendingFact) bool { return a == b }
+
+func decodePending(f pendingFact) map[int]bool {
+	set := map[int]bool{}
+	if f == "" {
+		return set
+	}
+	for _, s := range strings.Split(string(f), ",") {
+		v, _ := strconv.Atoi(s)
+		set[v] = true
+	}
+	return set
+}
+
+func encodePending(set map[int]bool) pendingFact {
+	if len(set) == 0 {
+		return ""
+	}
+	vals := make([]int, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return pendingFact(strings.Join(parts, ","))
+}
+
+// step is the shared transfer function. emit, when non-nil (reporting
+// replay), receives each blank-discard creation.
+func (lp *lostcancelPass) step(n ast.Node, in pendingFact, emit func(as *ast.AssignStmt, fun string)) pendingFact {
+	set := decodePending(in)
+
+	// Collect this node's creations first so their LHS idents do not
+	// count as resolving uses (`cancel = ...` re-creation).
+	type created struct {
+		as  *ast.AssignStmt
+		id  *ast.Ident
+		fun string
+	}
+	var creations []created
+	lhs := map[*ast.Ident]bool{}
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if as, id, fun := lp.creation(m); as != nil {
+			creations = append(creations, created{as, id, fun})
+			lhs[id] = true
+		}
+		return true
+	})
+
+	// Any other appearance of a tracked cancel variable resolves its
+	// pending sites — including inside nested closures, which is why
+	// this walk descends into function literals.
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || lhs[id] {
+			return true
+		}
+		obj := lp.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, i := range lp.byObj[obj] {
+			delete(set, i)
+		}
+		return true
+	})
+
+	for _, c := range creations {
+		if c.id.Name == "_" {
+			if emit != nil {
+				emit(c.as, c.fun)
+			}
+			continue
+		}
+		i := lp.internSite(c.as, c.id, c.fun)
+		// Overwriting a variable that held an earlier pending cancel
+		// drops the old obligation (the old func is unreachable now;
+		// one leak report per site keeps the noise down).
+		for _, o := range lp.byObj[lp.sites[i].obj] {
+			delete(set, o)
+		}
+		set[i] = true
+	}
+	return encodePending(set)
+}
+
+// analyze runs the pending-cancel dataflow over one function frame and
+// reports: blank discards (during the replay) and sites still pending
+// at the synthetic exit (leak on some path).
+func (lp *lostcancelPass) analyze(fn cfg.Func) {
+	g := cfg.New(fn.Body)
+	res := dataflow.Forward[pendingFact](g, pendingLattice{lp})
+	for _, b := range g.Blocks {
+		if !res.Reached[b.Index] {
+			continue
+		}
+		fact := res.In[b.Index]
+		for _, n := range b.Nodes {
+			fact = lp.step(n, fact, func(as *ast.AssignStmt, fun string) {
+				lp.pass.Reportf(as.Pos(),
+					"the cancel function returned by context.%s is discarded; call it on every path to release the context's resources",
+					fun)
+			})
+		}
+	}
+	exit := g.Exit().Index
+	if !res.Reached[exit] {
+		return // every path panics or blocks forever: nothing escapes to report
+	}
+	ids := make([]int, 0)
+	for i := range decodePending(res.In[exit]) {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		s := lp.sites[i]
+		d := analysis.Diagnostic{
+			Pos: s.pos,
+			Message: fmt.Sprintf(
+				"the %s cancel function returned by context.%s is not called on every path (context leak)",
+				s.name, s.fun),
+		}
+		if s.insertAfter.IsValid() {
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message: fmt.Sprintf("defer %s() immediately after the creation", s.name),
+				TextEdits: []analysis.TextEdit{{
+					Pos:     s.insertAfter,
+					End:     s.insertAfter,
+					NewText: []byte("\ndefer " + s.name + "()"),
+				}},
+			}}
+		}
+		lp.pass.Report(d)
+	}
+}

@@ -1,0 +1,19 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+)
+
+func TestLostcancel(t *testing.T) {
+	analysistest.Run(t, Lostcancel, "testdata/src/lostcancel", "repro/internal/lintfix/lostcancel")
+}
+
+// TestLostcancelFix: the `defer cancel()` suggested fix produces the
+// golden output (fix inserted right after the creation, gofmt-clean).
+func TestLostcancelFix(t *testing.T) {
+	analysistest.RunWithFixes(t, []*analysis.Analyzer{Lostcancel},
+		"testdata/src/lostcancel", "repro/internal/lintfix/lostcancel")
+}

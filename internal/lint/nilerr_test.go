@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestNilerr(t *testing.T) {
+	analysistest.Run(t, Nilerr, "testdata/src/nilerr", "repro/internal/lintfix/nilerr")
+}

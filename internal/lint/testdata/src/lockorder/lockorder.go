@@ -1,0 +1,187 @@
+// Fixture for the lockorder analyzer: double locks, read/write
+// self-deadlocks, and ABBA acquisition-order inversions, plus the
+// negative shapes (paired lock/unlock, distinct instances, consistent
+// order) that must stay silent.
+package lockorder
+
+import "sync"
+
+var (
+	mu  sync.Mutex
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+	muF sync.Mutex
+	rw  sync.RWMutex
+)
+
+var shared int
+
+// doubleLock: the second Lock self-deadlocks.
+func doubleLock() {
+	mu.Lock()
+	mu.Lock() // want `may already be held`
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// lockAfterDeferredUnlock: defer releases at exit, so the mutex is
+// still held at the second Lock.
+func lockAfterDeferredUnlock() {
+	mu.Lock()
+	defer mu.Unlock()
+	mu.Lock() // want `may already be held`
+	mu.Unlock()
+}
+
+// relock is fine: Unlock precedes the second Lock.
+func relock() {
+	mu.Lock()
+	shared++
+	mu.Unlock()
+	mu.Lock()
+	shared++
+	mu.Unlock()
+}
+
+// branchy: on the c path the mutex is already held (may-analysis).
+func branchy(c bool) {
+	if c {
+		mu.Lock()
+	}
+	mu.Lock() // want `may already be held`
+	shared++
+	mu.Unlock()
+}
+
+// branchPaired is fine: every path pairs its lock with its unlock.
+func branchPaired(c bool) {
+	if c {
+		mu.Lock()
+		shared++
+		mu.Unlock()
+	}
+	mu.Lock()
+	shared++
+	mu.Unlock()
+}
+
+// loopPaired is fine: the back edge carries an empty held set.
+func loopPaired() {
+	for i := 0; i < 3; i++ {
+		mu.Lock()
+		shared++
+		mu.Unlock()
+	}
+}
+
+// writeAfterRead: upgrading RLock to Lock self-deadlocks.
+func writeAfterRead() int {
+	rw.RLock()
+	rw.Lock() // want `may already be held`
+	defer rw.Unlock()
+	defer rw.RUnlock()
+	return shared
+}
+
+// readThenWrite is fine: the read lock is released first.
+func readThenWrite() {
+	rw.RLock()
+	n := shared
+	rw.RUnlock()
+	rw.Lock()
+	shared = n + 1
+	rw.Unlock()
+}
+
+// recursiveRead stays silent: recursive RLock is legal.
+func recursiveRead() int {
+	rw.RLock()
+	rw.RLock()
+	n := shared
+	rw.RUnlock()
+	rw.RUnlock()
+	return n
+}
+
+type box struct {
+	mu  sync.Mutex
+	val int
+}
+
+// fieldDouble: the same instance through a receiver field.
+func (b *box) fieldDouble() {
+	b.mu.Lock()
+	b.mu.Lock() // want `may already be held`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// twoInstances is fine: x.mu and y.mu are different mutexes.
+func twoInstances(x, y *box) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.val = x.val
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// abOrder and baOrder acquire muA and muB in opposite orders: the
+// classic ABBA deadlock between two goroutines.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want `lock order inversion`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want `lock order inversion`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// lockD is a helper whose acquisition summary (muD) propagates to its
+// callers.
+func lockD() {
+	muD.Lock()
+	shared++
+	muD.Unlock()
+}
+
+// cThenD acquires muD via the helper while holding muC; dThenC uses
+// the opposite direct order.
+func cThenD() {
+	muC.Lock()
+	lockD() // want `lock order inversion`
+	muC.Unlock()
+}
+
+func dThenC() {
+	muD.Lock()
+	muC.Lock() // want `lock order inversion`
+	muC.Unlock()
+	muD.Unlock()
+}
+
+// consistent order in every function: silent.
+func ef1() {
+	muE.Lock()
+	muF.Lock()
+	shared++
+	muF.Unlock()
+	muE.Unlock()
+}
+
+func ef2(c bool) {
+	muE.Lock()
+	if c {
+		muF.Lock()
+		shared++
+		muF.Unlock()
+	}
+	muE.Unlock()
+}

@@ -1,0 +1,121 @@
+// Fixture for the loopcapture analyzer: closures spawned by go/defer
+// that capture a variable rewritten after the spawn, and the safe
+// shapes (per-iteration loop variables under go1.22, pass-by-argument,
+// defer observing a final value) that must stay silent.
+package loopcapture
+
+import "sync"
+
+func sink(int)       {}
+func sinkStr(string) {}
+func sinkErr(error)  {}
+func doWork() error  { return nil }
+
+// sharedCur: cur is rewritten on the next iteration while the
+// goroutine may still be reading it.
+func sharedCur(items []int) {
+	var cur int
+	var wg sync.WaitGroup
+	for _, it := range items {
+		cur = it
+		wg.Add(1)
+		go func() { // want `goroutine closure captures cur`
+			defer wg.Done()
+			sink(cur)
+		}()
+	}
+	wg.Wait()
+}
+
+// straightLine: no loop needed — the write races with the goroutine.
+func straightLine() {
+	x := 1
+	go func() { // want `goroutine closure captures x`
+		sink(x)
+	}()
+	x = 2
+	sink(x)
+}
+
+// bodyWrite: reassigning the loop variable inside the body mutates the
+// captured per-iteration instance.
+func bodyWrite(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want `goroutine closure captures i`
+			sink(i)
+		}()
+		i = i + 1
+	}
+}
+
+// deferInLoop: every deferred call sees the final value of f.
+func deferInLoop(files []string) {
+	var f string
+	for _, name := range files {
+		f = name
+		defer func() { // want `deferred closure captures f`
+			sinkStr(f)
+		}()
+	}
+}
+
+// perIterLoopVar is fine: go1.22 range variables are per-iteration.
+func perIterLoopVar(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// threeClause is fine: the post statement's i++ is the per-iteration
+// copy mechanics, not a shared mutation.
+func threeClause(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// asArg is fine: the value is passed at spawn time.
+func asArg(items []int) {
+	var cur int
+	var wg sync.WaitGroup
+	for _, it := range items {
+		cur = it
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			sink(v)
+		}(cur)
+	}
+	wg.Wait()
+}
+
+// deferObservesFinal is fine: a defer outside any loop reading the
+// final value of a named result is the idiom, not a bug.
+func deferObservesFinal() (err error) {
+	defer func() {
+		sinkErr(err)
+	}()
+	err = doWork()
+	return err
+}
+
+// writeBeforeSpawn is fine: the write cannot follow the spawn.
+func writeBeforeSpawn() {
+	x := 1
+	x = 2
+	go func() {
+		sink(x)
+	}()
+}

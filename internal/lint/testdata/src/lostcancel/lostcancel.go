@@ -1,0 +1,98 @@
+// Fixture for the lostcancel analyzer: cancel functions leaked on some
+// path, discarded outright, and the resolved shapes (deferred, called
+// on every branch, returned, passed on, captured by a closure) that
+// must stay silent.
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+// earlyReturn: the error path returns without cancelling.
+func earlyReturn(parent context.Context, bad bool) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want `not called on every path`
+	if bad {
+		return ctx.Err()
+	}
+	cancel()
+	return nil
+}
+
+// oneBranch: only the true arm cancels.
+func oneBranch(parent context.Context, c bool) {
+	_, cancel := context.WithCancel(parent) // want `not called on every path`
+	if c {
+		cancel()
+	}
+}
+
+// discarded: the cancel func is thrown away at the creation.
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `cancel function returned by context.WithCancel is discarded`
+	return ctx
+}
+
+// deferred is fine: defer runs on every path.
+func deferred(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	return ctx.Err()
+}
+
+// bothBranches is fine: every path cancels before returning.
+func bothBranches(parent context.Context, c bool) {
+	ctx, cancel := context.WithCancel(parent)
+	if c {
+		cancel()
+		return
+	}
+	_ = ctx
+	cancel()
+}
+
+// returned is fine: the caller takes over the obligation.
+func returned(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(parent)
+}
+
+// returnedVar is fine: the cancel variable escapes via return.
+func returnedVar(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+// passedOn is fine: handing the func to a helper resolves it here.
+func passedOn(parent context.Context) {
+	_, cancel := context.WithCancel(parent)
+	runLater(cancel)
+}
+
+func runLater(f context.CancelFunc) { f() }
+
+// captured is fine: the closure owns the cancel now.
+func captured(parent context.Context) func() {
+	ctx, cancel := context.WithCancel(parent)
+	return func() {
+		_ = ctx.Err()
+		cancel()
+	}
+}
+
+// panicPath is fine: the only path that skips cancel unwinds.
+func panicPath(parent context.Context, broken bool) {
+	_, cancel := context.WithCancel(parent)
+	if broken {
+		panic("invariant broken")
+	}
+	cancel()
+}
+
+// perIteration is fine: each iteration cancels its own context.
+func perIteration(parent context.Context, n int) {
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithTimeout(parent, time.Second)
+		_ = ctx
+		cancel()
+	}
+}

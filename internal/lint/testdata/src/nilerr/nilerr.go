@@ -1,0 +1,173 @@
+// Fixture for the nilerr analyzer: result values consumed before their
+// accompanying error has been looked at, and the checked/propagated/
+// helper-validated shapes that must stay silent.
+package nilerr
+
+import "strconv"
+
+type box struct{ n int }
+
+func compute() (int, error)   { return 1, nil }
+func get() (*box, error)      { return &box{}, nil }
+func pair() (int, int, error) { return 1, 2, nil }
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// useBeforeCheck consumes v while err is untouched.
+func useBeforeCheck() int {
+	v, err := compute()
+	n := v * 2 // want `v is used before checking err`
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// deref dereferences the result before the error check.
+func deref() int {
+	b, err := get()
+	n := b.n // want `b is used before checking err`
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// branchCheck only checks err on the c path: the other path reaches
+// the use with err untouched.
+func branchCheck(c bool) int {
+	v, err := compute()
+	if c {
+		if err != nil {
+			return 0
+		}
+	}
+	return v // want `v is used before checking err`
+}
+
+// middleResult guards every non-error result of a tuple.
+func middleResult() int {
+	a, b, err := pair()
+	s := a + b // want `a is used before checking err` `b is used before checking err`
+	if err != nil {
+		return 0
+	}
+	return s
+}
+
+// checkedFirst is fine: the error gate precedes every use.
+func checkedFirst() (int, error) {
+	v, err := compute()
+	if err != nil {
+		return 0, err
+	}
+	return v * 2, nil
+}
+
+// propagate is fine: value and error are handed to the caller together.
+func propagate() (int, error) {
+	v, err := compute()
+	return v, err
+}
+
+// viaHelper is fine: the helper inspects the error.
+func viaHelper() int {
+	v, err := compute()
+	must(err)
+	return v
+}
+
+// errBranchUse is fine by nilerr's rule: the error was checked, the
+// use in the error branch is a deliberate choice.
+func errBranchUse() int {
+	v, err := compute()
+	if err != nil {
+		return v
+	}
+	return v + 1
+}
+
+// regen: checking the first error validates v for good; re-assigning
+// err with a fresh call must not revive the old obligation, while the
+// new value is still guarded.
+func regen() int {
+	v, err := compute()
+	if err != nil {
+		return 0
+	}
+	v2, err := compute()
+	a := v + 1 // silent: v's error was checked before err was re-used
+	b := v2    // want `v2 is used before checking err`
+	if err != nil {
+		return 0
+	}
+	return a + b
+}
+
+// switchGuards is fine: an expression-less switch evaluates its case
+// guards in order, so the default path has already compared err
+// (regression: the CFG once wired the default body straight to the
+// switch head, skipping the guards).
+func switchGuards() int {
+	v, err := compute()
+	switch {
+	case err == nil && v > 0:
+		return v
+	default:
+		return v - 1 // silent: the first guard inspected err
+	}
+}
+
+// external is fine: out-of-module calls are not nilerr's scope (the
+// zero-value-on-error convention is this module's contract).
+func external(s string) int {
+	n, err := strconv.Atoi(s)
+	m := n * 2
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// blankErr is errdrop's finding, not a flow question.
+func blankErr() int {
+	v, _ := compute()
+	return v
+}
+
+// inLoop is fine: each iteration checks before consuming.
+func inLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		v, err := compute()
+		if err != nil {
+			continue
+		}
+		total += v
+	}
+	return total
+}
+
+// inRange is fine: a range statement's node stands for its
+// per-iteration assignment only — the body's check-then-use must not
+// be re-applied out of order at the loop head (regression: this shape
+// false-positived when cfg.Inspect descended into the range body).
+func inRange(items []int, err error) int {
+	total := 0
+	for _, it := range items {
+		v := it
+		if it > 0 {
+			v, err = compute()
+			if err != nil {
+				return 0
+			}
+			v++
+		}
+		total += v // silent: err was checked on the only path that set it
+	}
+	return total
+}
