@@ -29,9 +29,14 @@ lint:
 lint-fix:
 	$(GO) run ./cmd/rtwlint -fix ./...
 
-# SARIF 2.1.0 log of the full run, for code-scanning upload.
+# SARIF 2.1.0 log of the full run, for code-scanning upload. The
+# artifact is always written (exit 1 = findings, still a valid log),
+# but the exit status is propagated: a crash (exit 2) must fail the
+# target instead of silently uploading an empty/partial SARIF.
 lint-sarif:
-	$(GO) run ./cmd/rtwlint -sarif ./... > rtwlint.sarif || true
+	@status=0; $(GO) run ./cmd/rtwlint -sarif ./... > rtwlint.sarif || status=$$?; \
+	if [ "$$status" -ge 2 ]; then echo "rtwlint -sarif failed (exit $$status)"; fi; \
+	exit $$status
 
 test:
 	$(GO) test ./...

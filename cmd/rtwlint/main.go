@@ -32,8 +32,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/lint"
 	"repro/internal/lint/analysis"
@@ -101,15 +103,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Every package of one Load call shares a FileSet, so diagnostics
 	// from different packages sort (and fix) against the same positions.
-	var findings []finding
+	// Packages run in parallel inside one module context: the
+	// interprocedural analyzers build their call graph and summary cache
+	// once (analysis.Module.Shared) and every pass reuses it. Results
+	// are indexed by package, then merged in package order, so the
+	// output stays byte-identical to a serial run.
 	var fset = tokenFileSet(pkgs)
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintln(stderr, "rtwlint:", err)
+	mod := analysis.NewModule(pkgs)
+	perPkg := make([][]analysis.Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *analysis.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			//rtwlint:ignore unsyncshared each goroutine writes only its own index; wg.Wait orders the reads
+			perPkg[i], errs[i] = analysis.RunInModule(pkg, mod, analyzers)
+		}(i, pkg)
+	}
+	wg.Wait()
+	var findings []finding
+	for i, pkg := range pkgs {
+		if errs[i] != nil {
+			fmt.Fprintln(stderr, "rtwlint:", errs[i])
 			return 2
 		}
-		for _, d := range diags {
+		for _, d := range perPkg[i] {
 			pos := pkg.Fset.Position(d.Pos)
 			findings = append(findings, finding{
 				File:     relPath(pos.Filename),

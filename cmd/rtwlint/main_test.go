@@ -246,6 +246,117 @@ func TestSARIFOutput(t *testing.T) {
 	}
 }
 
+// TestJSONDeterminism: two full-suite runs over a multi-package module
+// — including an interprocedural unlockpath finding whose summaries
+// are computed by parallel per-package passes — must produce
+// byte-identical JSON. This pins the merge-in-package-order contract
+// of the parallel driver and the determinism of the summary engine.
+func TestJSONDeterminism(t *testing.T) {
+	chdirRepoRoot(t)
+	seedModule(t, map[string]string{
+		"locks/locks.go": `package locks
+
+import "sync"
+
+type Store struct {
+	Mu sync.Mutex
+	M  map[string]int
+}
+
+func (s *Store) Get(k string) (int, bool) {
+	s.Mu.Lock()
+	v, ok := s.M[k]
+	if !ok {
+		return 0, false
+	}
+	s.Mu.Unlock()
+	return v, ok
+}
+`,
+		"calc/calc.go": "package calc\n\nfunc Eq(a, b float64) bool { return a == b }\n",
+	})
+	var out1, out2, errb strings.Builder
+	if code := run([]string{"-json", "./..."}, &out1, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-json", "./..."}, &out2, &errb); code != 1 {
+		t.Fatalf("second run exit %d, want 1", code)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("JSON output not byte-identical across runs:\n--- first ---\n%s--- second ---\n%s",
+			out1.String(), out2.String())
+	}
+	var got []struct {
+		File     string `json:"file"`
+		Analyzer string `json:"analyzer"`
+	}
+	if err := json.Unmarshal([]byte(out1.String()), &got); err != nil {
+		t.Fatalf("output does not parse: %v\n%s", err, out1.String())
+	}
+	byAnalyzer := map[string]int{}
+	for _, f := range got {
+		byAnalyzer[f.Analyzer]++
+	}
+	if byAnalyzer["unlockpath"] == 0 || byAnalyzer["floateq"] == 0 {
+		t.Errorf("want findings from both tiers (unlockpath, floateq), got %v", byAnalyzer)
+	}
+}
+
+// TestSARIFCrashExitCode: a package that fails to load must exit 2 —
+// distinct from exit 1 (findings) — so callers like `make lint-sarif`
+// can tell a crash from a log with results. The error goes to stderr,
+// never into the SARIF stream.
+func TestSARIFCrashExitCode(t *testing.T) {
+	chdirRepoRoot(t)
+	seedModule(t, map[string]string{
+		"broken.go": "package seeded\n\nfunc oops() { return undefinedIdent }\n",
+	})
+	var out, errb strings.Builder
+	if code := run([]string{"-sarif", "."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 for a load failure\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("crash must not write partial SARIF to stdout:\n%s", out.String())
+	}
+	if errb.String() == "" {
+		t.Error("load failure should be reported on stderr")
+	}
+}
+
+// TestMakefileSARIFPropagatesFailure pins the lint-sarif recipe: the
+// artifact is written unconditionally, but the exit status must be
+// propagated rather than masked with `|| true` — a crash (exit 2) has
+// to fail the target instead of uploading an empty or stale log.
+func TestMakefileSARIFPropagatesFailure(t *testing.T) {
+	chdirRepoRoot(t)
+	data, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	recipe := ""
+	for i, line := range lines {
+		if strings.HasPrefix(line, "lint-sarif:") {
+			for _, l := range lines[i+1:] {
+				if !strings.HasPrefix(l, "\t") {
+					break
+				}
+				recipe += l + "\n"
+			}
+		}
+	}
+	if recipe == "" {
+		t.Fatal("lint-sarif target not found in Makefile")
+	}
+	if strings.Contains(recipe, "|| true") {
+		t.Errorf("lint-sarif masks rtwlint's exit status with `|| true`:\n%s", recipe)
+	}
+	if !strings.Contains(recipe, "exit $$status") {
+		t.Errorf("lint-sarif should capture and propagate the exit status:\n%s", recipe)
+	}
+}
+
 // TestFixRewritesFiles: -fix applies the stale-directive delete fix in
 // place, after which the package is clean.
 func TestFixRewritesFiles(t *testing.T) {

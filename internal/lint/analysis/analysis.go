@@ -24,6 +24,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer describes one static check.
@@ -53,10 +54,69 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Module is the whole-run view shared by every package of one
+	// rtwlint invocation; the interprocedural analyzers read the call
+	// graph and function summaries from it. Never nil: a single-package
+	// run gets a module of one package.
+	Module *Module
+
 	// report receives every diagnostic, after suppression filtering.
 	report func(Diagnostic)
 	// suppressed knows the //rtwlint:ignore directives of the package.
 	suppressed func(name string, pos token.Pos) bool
+}
+
+// Module is the cross-package context of one run: every in-module
+// package being checked, plus a keyed store for state computed once and
+// shared by all per-package passes (the interprocedural tier's call
+// graph and summary engine live here). Shared is safe for concurrent
+// per-package passes: the first caller of a key builds while the others
+// wait, so an expensive module-wide structure is computed exactly once.
+type Module struct {
+	// Packages is every package of the run, sorted by import path.
+	Packages []*Package
+
+	mu     sync.Mutex
+	shared map[string]*sharedEntry
+}
+
+type sharedEntry struct {
+	once sync.Once
+	val  any
+}
+
+// NewModule builds the run context over the given packages (sorted by
+// import path; the slice is not retained beyond the copy).
+func NewModule(pkgs []*Package) *Module {
+	sorted := make([]*Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	return &Module{Packages: sorted, shared: map[string]*sharedEntry{}}
+}
+
+// Shared returns the module-wide value under key, building it with
+// build on first use. Concurrent callers of the same key block until
+// the single build completes.
+func (m *Module) Shared(key string, build func() any) any {
+	m.mu.Lock()
+	e, ok := m.shared[key]
+	if !ok {
+		e = &sharedEntry{}
+		m.shared[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.val = build() })
+	return e.val
+}
+
+// Package returns the module package with the given import path, or
+// nil.
+func (m *Module) Package(path string) *Package {
+	i := sort.Search(len(m.Packages), func(i int) bool { return m.Packages[i].Path >= path })
+	if i < len(m.Packages) && m.Packages[i].Path == path {
+		return m.Packages[i]
+	}
+	return nil
 }
 
 // Diagnostic is one finding.
@@ -222,8 +282,18 @@ func (s *suppressor) unused(ran map[string]bool) []Directive {
 // Run applies every analyzer to the package and returns the surviving
 // diagnostics sorted by position. After every analyzer's Run, the
 // Finish hooks see the directives that suppressed nothing (stale
-// ignores). An analyzer returning an error aborts the run.
+// ignores). An analyzer returning an error aborts the run. The package
+// runs as a module of itself; multi-package runs go through
+// RunInModule.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunInModule(pkg, NewModule([]*Package{pkg}), analyzers)
+}
+
+// RunInModule is Run with an explicit whole-run module context, so the
+// interprocedural analyzers see every package of the invocation while
+// reporting only on pkg. Safe to call concurrently for different
+// packages of the same module.
+func RunInModule(pkg *Package, mod *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	sup := newSuppressor(pkg.Fset, pkg.Files)
 	ran := make(map[string]bool, len(analyzers))
@@ -236,6 +306,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:      pkg.Files,
 			Pkg:        pkg.Pkg,
 			TypesInfo:  pkg.Info,
+			Module:     mod,
 			report:     func(d Diagnostic) { diags = append(diags, d) },
 			suppressed: sup.suppress,
 		}

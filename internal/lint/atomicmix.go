@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Atomicmix enforces all-or-nothing atomicity: a struct field or
+// package-level variable accessed through sync/atomic anywhere in the
+// module must be accessed atomically everywhere. A plain read next to
+// an atomic store is a data race the race detector only catches when a
+// test happens to interleave it; the planned epoch/RCU read path of
+// the sharded admission plane (ROADMAP item 1) makes this the static
+// gate that keeps "lock-free" honest.
+//
+// The tracked set is module-wide (an atomic access in internal/server
+// taints the field for internal/core too); each per-package pass then
+// reports the plain reads and writes among its own files. Taking the
+// address of a tracked variable outside an atomic call is deliberately
+// not reported: passing &s.ctr to a helper that itself uses
+// sync/atomic is a legitimate idiom, and the helper's own accesses are
+// checked on their own. New code should prefer the typed atomics
+// (atomic.Int64 & friends), which make mixed access unrepresentable.
+var Atomicmix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "detects plain reads/writes of variables accessed via sync/atomic elsewhere in the module",
+	Run:  runAtomicmix,
+}
+
+// atomicUse records where a variable was first seen used atomically.
+type atomicUse struct {
+	pos  token.Pos
+	name string // display name: "Ctl.ctr" or "pkg.counter"
+}
+
+func runAtomicmix(pass *analysis.Pass) error {
+	tracked := pass.Module.Shared("interproc/atomicmix", func() any {
+		return collectAtomicVars(pass.Module)
+	}).(map[*types.Var]atomicUse)
+	if len(tracked) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		reportPlainAccesses(pass, f, tracked)
+	}
+	return nil
+}
+
+// collectAtomicVars finds every module struct field and package-level
+// variable whose address is the first argument of a sync/atomic
+// function call, anywhere in the module (test files excluded).
+func collectAtomicVars(mod *analysis.Module) map[*types.Var]atomicUse {
+	tracked := map[*types.Var]atomicUse{}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			if analysis.IsTestFile(pkg.Fset, f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) || len(call.Args) == 0 {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				v, name := trackableVar(pkg.Info, ast.Unparen(addr.X))
+				if v == nil {
+					return true
+				}
+				if _, seen := tracked[v]; !seen {
+					tracked[v] = atomicUse{pos: call.Pos(), name: name}
+				}
+				return true
+			})
+		}
+	}
+	return tracked
+}
+
+// isAtomicCall reports a call to a function-style sync/atomic API
+// (LoadT, StoreT, AddT, SwapT, CompareAndSwapT — the forms that take
+// &addr; typed atomics need no linting, mixed access to them does not
+// type-check).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// trackableVar resolves expr to a struct field of a module type or a
+// module package-level variable; locals are not tracked (they cannot
+// be shared across functions without their address escaping, at which
+// point the destination's accesses are what matter).
+func trackableVar(info *types.Info, expr ast.Expr) (*types.Var, string) {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		if ok && isPackageVar(v) {
+			return v, v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		if selection, ok := info.Selections[x]; ok {
+			if v, ok := selection.Obj().(*types.Var); ok && v.IsField() {
+				return v, fieldDisplay(info, x, v)
+			}
+			return nil, ""
+		}
+		// Qualified package variable pkg.V.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && isPackageVar(v) {
+			return v, v.Pkg().Name() + "." + v.Name()
+		}
+	}
+	return nil, ""
+}
+
+func isPackageVar(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// fieldDisplay renders a field access as "Type.field".
+func fieldDisplay(info *types.Info, sel *ast.SelectorExpr, v *types.Var) string {
+	t := info.Types[sel.X].Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// reportPlainAccesses walks one file and reports every non-atomic read
+// or write of a tracked variable.
+func reportPlainAccesses(pass *analysis.Pass, f *ast.File, tracked map[*types.Var]atomicUse) {
+	// First collect the operand nodes of atomic calls and the address
+	// takings, which are exempt (&x feeding a helper is legitimate; the
+	// helper's own accesses are checked separately).
+	exempt := map[ast.Node]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			exempt[ast.Unparen(u.X)] = true
+		}
+		return true
+	})
+
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		var v *types.Var
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if selection, ok := pass.TypesInfo.Selections[x]; ok {
+				v, _ = selection.Obj().(*types.Var)
+			} else if u, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+				v = u
+			}
+		case *ast.Ident:
+			// A bare identifier use; skip the Sel of an enclosing
+			// selector (the selector node already handled it) and
+			// composite-literal keys (initialization, not access).
+			if len(stack) >= 2 {
+				switch p := stack[len(stack)-2].(type) {
+				case *ast.SelectorExpr:
+					if p.Sel == x {
+						return true
+					}
+				case *ast.KeyValueExpr:
+					if p.Key == x && len(stack) >= 3 {
+						if _, inLit := stack[len(stack)-3].(*ast.CompositeLit); inLit {
+							return true
+						}
+					}
+				}
+			}
+			if pass.TypesInfo.Defs[x] != nil {
+				return true // declaration, not access
+			}
+			v, _ = pass.TypesInfo.Uses[x].(*types.Var)
+		default:
+			return true
+		}
+		use, ok := tracked[v]
+		if !ok || exempt[n.(ast.Expr)] {
+			return true
+		}
+		verb := "read"
+		if isWriteTarget(stack) {
+			verb = "written"
+		}
+		ap := pass.Fset.Position(use.pos)
+		pass.Reportf(n.Pos(),
+			"%s is accessed atomically (e.g. %s:%d) but plainly %s here; mixing sync/atomic and direct access is a data race",
+			use.name, shortFile(ap.Filename), ap.Line, verb)
+		return true
+	})
+}
+
+// isWriteTarget reports whether the node on top of the stack is being
+// assigned to (LHS of an assignment, or an inc/dec operand).
+func isWriteTarget(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	node := stack[len(stack)-1]
+	switch p := stack[len(stack)-2].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == node {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == node
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, Atomicmix, "testdata/src/atomicmix", "repro/internal/lintfix/atomicmix")
+}

@@ -355,6 +355,78 @@ func TestLabeledBreak(t *testing.T) {
 	}
 }
 
+// TestLabeledContinueNestedLoop: continue L from an inner loop must
+// re-enter the OUTER loop's post block, not the inner head. The
+// contrast with the unlabeled form below is the precision claim: the
+// inner loop here is infinite, so the outer post block is reachable
+// only through the labeled continue.
+func TestLabeledContinueNestedLoop(t *testing.T) {
+	g := build(t, "L:\nfor i := 0; i < 3; i++ {\n for {\n  continue L\n }\n}\n_ = 1")
+	post := one(t, g, "for.post") // the inner for{} has no post clause
+	if !reachable(g)[post.Index] {
+		t.Errorf("continue L must reach the outer for.post:\n%s", dump(g))
+	}
+}
+
+// TestUnlabeledContinueStaysInner: the same shape without the label
+// traps control in the inner infinite loop, so the OUTER loop's post
+// block has no reachable predecessor — if the builder ever wired an
+// unlabeled continue to the outer loop, for.post would become
+// reachable and this test would catch the regression.
+func TestUnlabeledContinueStaysInner(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\n for {\n  continue\n }\n}\n_ = 1")
+	post := one(t, g, "for.post")
+	if reachable(g)[post.Index] {
+		t.Errorf("unlabeled continue must target the inner loop; outer for.post unreachable:\n%s", dump(g))
+	}
+}
+
+// TestLabeledBreakSkipsOuterTail: break L from the inner loop leaves
+// the outer loop entirely — the inner loop's normal exit (and with it
+// the outer body's tail) must stay unreachable while function exit is
+// reachable.
+func TestLabeledBreakSkipsOuterTail(t *testing.T) {
+	g := build(t, "L:\nfor {\n for {\n  break L\n }\n _ = 2\n}\n_ = 1")
+	r := reachable(g)
+	if !r[g.Exit().Index] {
+		t.Errorf("break L must make function exit reachable:\n%s", dump(g))
+	}
+	// Both done blocks exist; only the outer one (the break target) may
+	// be reachable: the inner loop never terminates normally.
+	reachableDone := 0
+	for _, d := range blocksOf(g, "for.done") {
+		if r[d.Index] {
+			reachableDone++
+		}
+	}
+	if reachableDone != 1 {
+		t.Errorf("want exactly the outer for.done reachable, got %d:\n%s", reachableDone, dump(g))
+	}
+}
+
+// TestFallthroughChain: successive fallthroughs chain case bodies
+// unconditionally, including into the default clause, without passing
+// through the guards again.
+func TestFallthroughChain(t *testing.T) {
+	g := build(t, "switch 1 {\ncase 1:\n fallthrough\ncase 2:\n fallthrough\ndefault:\n _ = 3\n}\n_ = 1")
+	cases := blocksOf(g, "switch.case")
+	if len(cases) != 3 {
+		t.Fatalf("want 3 case blocks (two cases + default):\n%s", dump(g))
+	}
+	if !hasEdge(cases[0], cases[1]) || !hasEdge(cases[1], cases[2]) {
+		t.Errorf("fallthrough chain must edge case→case→default directly:\n%s", dump(g))
+	}
+	for _, guard := range blocksOf(g, "switch.guard") {
+		if hasEdge(cases[0], guard) || hasEdge(cases[1], guard) {
+			t.Errorf("fallthrough must bypass the guards:\n%s", dump(g))
+		}
+	}
+	done := one(t, g, "switch.done")
+	if hasEdge(cases[0], done) || hasEdge(cases[1], done) {
+		t.Errorf("a case ending in fallthrough must not edge to switch.done:\n%s", dump(g))
+	}
+}
+
 // TestDeferIsOrdinaryNode: defer statements stay in their block (the
 // analyzers give them their own meaning).
 func TestDeferIsOrdinaryNode(t *testing.T) {

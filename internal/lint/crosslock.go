@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+	"repro/internal/lint/summary"
+)
+
+// Crosslock extends lockorder's ABBA detection across function (and
+// package) boundaries: a function's summary records the lock classes
+// it may acquire (see internal/lint/summary), a call site inherits
+// the callee's lock effects, and an acquisition order observed through
+// a call chain in one place and inverted anywhere else in the module
+// is a potential ABBA deadlock. Diagnostics name the full call chain
+// ("via call chain commit → flush") so the interprocedural step is
+// visible in the report, and point at the site using the opposite
+// order.
+//
+// Crosslock reports only edges with a non-empty call chain — the
+// interprocedural evidence lockorder cannot see. Direct-vs-direct
+// inversions inside one function stay lockorder's job, so the two
+// analyzers never disagree about the same pair of lines.
+var Crosslock = &analysis.Analyzer{
+	Name: "crosslock",
+	Doc:  "detects lock-order inversions reachable only through call chains (interprocedural ABBA)",
+	Run:  runCrosslock,
+}
+
+func runCrosslock(pass *analysis.Pass) error {
+	st := pass.Module.Shared("interproc/crosslock", func() any {
+		return buildCrosslock(pass.Module, moduleEngine(pass))
+	}).(*crosslockState)
+	for _, r := range st.reports {
+		if r.pkg != pass.Pkg.Path() {
+			continue
+		}
+		pass.Reportf(r.pos, "%s", r.msg)
+	}
+	return nil
+}
+
+// crossEdge records "class b acquired while class a held" at pos, with
+// the call chain (empty = direct acquisition) that leads to b.
+type crossEdge struct {
+	a, b  string // class keys
+	chain []summary.ChainStep
+	pos   token.Pos
+	pkg   string // package of the observing function
+}
+
+type crossReport struct {
+	pos token.Pos
+	pkg string
+	msg string
+}
+
+type crosslockState struct {
+	reports []crossReport
+}
+
+// buildCrosslock runs the module-wide order-edge collection once; the
+// per-package passes then just filter the precomputed reports.
+func buildCrosslock(mod *analysis.Module, eng *summary.Engine) *crosslockState {
+	eng.ComputeAll()
+	c := &crossCollector{
+		eng:    eng,
+		fset:   fsetOf(mod),
+		classN: map[string]string{},
+		byPair: map[[2]string][]*crossEdge{},
+	}
+	for _, n := range eng.Graph.Nodes {
+		c.function(n)
+	}
+	return &crosslockState{reports: c.pairReports()}
+}
+
+func fsetOf(mod *analysis.Module) *token.FileSet {
+	if len(mod.Packages) > 0 {
+		return mod.Packages[0].Fset
+	}
+	return token.NewFileSet()
+}
+
+type crossCollector struct {
+	eng    *summary.Engine
+	fset   *token.FileSet
+	classN map[string]string // class key -> display name
+	byPair map[[2]string][]*crossEdge
+
+	// per-function state
+	node    *callgraph.Node
+	sites   map[*ast.CallExpr][]*callgraph.Edge
+	classes []string // interned class keys for fact encoding
+	classID map[string]int
+}
+
+// heldClasses is the dataflow fact: sorted class-id set, encoded.
+type heldClasses string
+
+type crossLattice struct{ c *crossCollector }
+
+func (l crossLattice) Entry() heldClasses { return "" }
+func (l crossLattice) Transfer(n ast.Node, in heldClasses) heldClasses {
+	return l.c.step(n, in, nil)
+}
+func (crossLattice) Join(a, b heldClasses) heldClasses {
+	set := decodeClasses(a)
+	for k := range decodeClasses(b) {
+		set[k] = true
+	}
+	return encodeClasses(set)
+}
+func (crossLattice) Equal(a, b heldClasses) bool { return a == b }
+
+func decodeClasses(f heldClasses) map[int]bool {
+	set := map[int]bool{}
+	if f == "" {
+		return set
+	}
+	for _, s := range strings.Split(string(f), ",") {
+		var v int
+		fmt.Sscanf(s, "%d", &v)
+		set[v] = true
+	}
+	return set
+}
+
+func encodeClasses(set map[int]bool) heldClasses {
+	if len(set) == 0 {
+		return ""
+	}
+	vals := make([]int, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return heldClasses(strings.Join(parts, ","))
+}
+
+func (c *crossCollector) intern(key, name string) int {
+	if id, ok := c.classID[key]; ok {
+		return id
+	}
+	id := len(c.classes)
+	c.classID[key] = id
+	c.classes = append(c.classes, key)
+	c.classN[key] = name
+	return id
+}
+
+// function collects the order edges of one function: a forward
+// may-held analysis over class keys, where call sites inherit the
+// callee's acquire/release effects from its summary.
+func (c *crossCollector) function(n *callgraph.Node) {
+	c.node = n
+	c.classes = c.classes[:0]
+	c.classID = map[string]int{}
+	c.sites = map[*ast.CallExpr][]*callgraph.Edge{}
+	for _, e := range n.Out {
+		c.sites[e.Site] = append(c.sites[e.Site], e)
+	}
+
+	g := cfg.New(n.Decl.Body)
+	res := dataflow.Forward[heldClasses](g, crossLattice{c})
+	for _, b := range g.Blocks {
+		if !res.Reached[b.Index] {
+			continue
+		}
+		fact := res.In[b.Index]
+		for _, nd := range b.Nodes {
+			fact = c.step(nd, fact, c.emit)
+		}
+	}
+}
+
+// crossEvent is one acquisition (direct or inherited through a call)
+// observed with a non-empty held set.
+type crossEvent struct {
+	held  map[int]bool
+	class string // acquired class key (direct)
+	chain []summary.ChainStep
+	pos   token.Pos
+}
+
+// step is the shared transfer function; emit (non-nil during replay)
+// receives every acquisition event.
+func (c *crossCollector) step(n ast.Node, in heldClasses, emit func(crossEvent)) heldClasses {
+	set := decodeClasses(in)
+	info := c.node.Pkg.Info
+	tpkg := c.node.Pkg.Pkg
+	cfg.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false // deferred effects run at exit; go runs elsewhere
+		case *ast.CallExpr:
+			if op, ok := summary.ResolveLockOp(info, tpkg, m); ok {
+				id := c.intern(op.ClassKey, op.ClassName)
+				if op.Acquire {
+					if emit != nil && len(set) > 0 {
+						emit(crossEvent{held: copyClassSet(set), class: op.ClassKey, pos: op.Pos})
+					}
+					set[id] = true
+				} else {
+					delete(set, id)
+				}
+				return true
+			}
+			for _, e := range c.sites[m] {
+				if e.Go || e.Defer || e.InLit {
+					continue
+				}
+				facts := c.eng.Func(e.Callee.Func)
+				if facts == nil {
+					continue
+				}
+				if emit != nil && len(set) > 0 {
+					for _, eff := range facts.Acquires {
+						chain := append([]summary.ChainStep{
+							{Name: callgraph.DisplayName(e.Callee.Func), Pos: e.Pos()},
+						}, eff.Chain...)
+						c.classN[eff.ClassKey] = eff.ClassName
+						emit(crossEvent{held: copyClassSet(set), class: eff.ClassKey, chain: chain, pos: e.Pos()})
+					}
+				}
+				// Locks the callee acquires and does not release stay
+				// held; classes it releases are gone.
+				for _, eff := range facts.Acquires {
+					if !facts.ReleasesClass(eff.ClassKey) {
+						set[c.intern(eff.ClassKey, eff.ClassName)] = true
+					}
+				}
+				for _, rel := range facts.Releases {
+					if id, ok := c.classID[rel]; ok {
+						delete(set, id)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return encodeClasses(set)
+}
+
+func copyClassSet(set map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(set))
+	for k := range set {
+		out[k] = true
+	}
+	return out
+}
+
+// emit turns one acquisition event into order edges held -> acquired.
+func (c *crossCollector) emit(ev crossEvent) {
+	for id := range ev.held {
+		a := c.classes[id]
+		if a == ev.class {
+			continue
+		}
+		pair := [2]string{a, ev.class}
+		c.byPair[pair] = append(c.byPair[pair], &crossEdge{
+			a: a, b: ev.class, chain: ev.chain, pos: ev.pos, pkg: c.node.Pkg.Path,
+		})
+	}
+}
+
+// pairReports finds inverted pairs and renders the chained edges of
+// each direction as diagnostics.
+func (c *crossCollector) pairReports() []crossReport {
+	pairs := make([][2]string, 0, len(c.byPair))
+	for p := range c.byPair {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+
+	var out []crossReport
+	for _, pair := range pairs {
+		rev, ok := c.byPair[[2]string{pair[1], pair[0]}]
+		if !ok {
+			continue
+		}
+		opp := rev[0].pos
+		for _, e := range rev[1:] {
+			if e.pos < opp {
+				opp = e.pos
+			}
+		}
+		op := c.fset.Position(opp)
+		for _, e := range c.byPair[pair] {
+			if len(e.chain) == 0 {
+				continue // direct evidence is lockorder's territory
+			}
+			names := make([]string, len(e.chain))
+			for i, s := range e.chain {
+				names[i] = s.Name
+			}
+			out = append(out, crossReport{
+				pos: e.pos,
+				pkg: e.pkg,
+				msg: fmt.Sprintf(
+					"lock order inversion across calls: %s acquired via call chain %s while %s is held, but the opposite order is used at %s:%d (possible ABBA deadlock)",
+					c.classN[e.b], strings.Join(names, " → "), c.classN[e.a],
+					shortFile(op.Filename), op.Line),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].msg < out[j].msg
+	})
+	return out
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/linttest"
+)
+
+func TestCrosslock(t *testing.T) {
+	analysistest.Run(t, Crosslock, "testdata/src/crosslock", "repro/internal/lintfix/crosslock")
+}
+
+// TestCrosslockAcrossPackages pins the cross-package case analysistest
+// cannot express: the two halves of the inversion live in different
+// packages, each blind to the other intraprocedurally.
+func TestCrosslockAcrossPackages(t *testing.T) {
+	pkgs := linttest.LoadPackages(t, map[string]map[string]string{
+		"fix/locks": {"locks.go": `package locks
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+func WithB(f func()) {
+	MuB.Lock()
+	defer MuB.Unlock()
+	f()
+}
+
+func LockBThenA() {
+	MuB.Lock()
+	MuA.Lock()
+	MuA.Unlock()
+	MuB.Unlock()
+}
+`},
+		"fix/use": {"use.go": `package use
+
+import "fix/locks"
+
+func AThenB() {
+	locks.MuA.Lock()
+	helper()
+	locks.MuA.Unlock()
+}
+
+func helper() { locks.LockBThenA() }
+`},
+	})
+	mod := analysis.NewModule(pkgs)
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunInModule(pkg, mod, []*analysis.Analyzer{Crosslock})
+		if err != nil {
+			t.Fatalf("RunInModule(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !strings.HasSuffix(pos.Filename, "use.go") {
+				t.Errorf("diagnostic outside the chained package: %s: %s", pos, d.Message)
+			}
+			all = append(all, d)
+		}
+	}
+	if len(all) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(all), all)
+	}
+	msg := all[0].Message
+	for _, want := range []string{"via call chain helper", "LockBThenA", "locks.MuA", "opposite order"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+}

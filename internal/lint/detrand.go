@@ -162,9 +162,37 @@ func orderInsensitiveStmt(pass *analysis.Pass, rng *ast.RangeStmt, stmt ast.Stmt
 		if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "delete" {
 			return true
 		}
-		return false
+		return calleeSorts(pass, call)
 	}
 	return false
+}
+
+// calleeSorts reports whether the call targets a module-local function
+// whose summary carries the Sorts fact: a helper that accumulates the
+// range variables and sorts before emission keeps the result
+// order-independent even though the collection happens in the callee.
+// This is the false positive the interprocedural tier exists to kill —
+// without the summary the allowlist only recognizes sorting done
+// inline after the loop.
+func calleeSorts(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if pass.Module == nil {
+		return false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return false
+	}
+	facts := moduleEngine(pass).Func(fn)
+	return facts != nil && facts.Sorts
 }
 
 // sameLvalue reports whether a and b are the same identifier or the

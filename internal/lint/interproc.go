@@ -1,0 +1,18 @@
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/summary"
+)
+
+// moduleEngine returns the run-wide summary engine (call graph +
+// per-function lock/sort facts), built once per rtwlint invocation and
+// shared by every interprocedural analyzer pass (crosslock, unlockpath,
+// atomicmix's callee checks, detrand's sorted-in-callee suppression).
+// Engine methods are internally synchronized, so concurrent per-package
+// passes may query it freely.
+func moduleEngine(pass *analysis.Pass) *summary.Engine {
+	return pass.Module.Shared("interproc/summary", func() any {
+		return summary.New(pass.Module.Packages)
+	}).(*summary.Engine)
+}

@@ -47,6 +47,8 @@ var registry []*analysis.Analyzer
 
 func init() {
 	registry = []*analysis.Analyzer{
+		Atomicmix,
+		Crosslock,
 		Detrand,
 		Directive,
 		Errdrop,
@@ -55,6 +57,7 @@ func init() {
 		Loopcapture,
 		Lostcancel,
 		Nilerr,
+		Unlockpath,
 		Unsyncshared,
 	}
 }

@@ -1,0 +1,315 @@
+package summary
+
+import (
+	"bytes"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+// engineOver loads the fixture set and builds an engine (summaries not
+// yet computed).
+func engineOver(t *testing.T, pkgs map[string]map[string]string) *Engine {
+	t.Helper()
+	return New(linttest.LoadPackages(t, pkgs))
+}
+
+// funcNamed finds the *types.Func of a node whose key has the suffix.
+func funcNamed(t *testing.T, e *Engine, suffix string) *types.Func {
+	t.Helper()
+	for _, n := range e.Graph.Nodes {
+		if strings.HasSuffix(n.Key(), suffix) {
+			return n.Func
+		}
+	}
+	t.Fatalf("no function with key suffix %q", suffix)
+	return nil
+}
+
+func classNames(effs []LockEffect) []string {
+	out := make([]string, len(effs))
+	for i, e := range effs {
+		out[i] = e.ClassKey + "/" + e.Mode.String()
+	}
+	return out
+}
+
+func TestDirectAndTransitiveAcquires(t *testing.T) {
+	e := engineOver(t, map[string]map[string]string{
+		"fix/s": {"s.go": `package s
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+func LockA() {
+	muA.Lock()
+	muA.Unlock()
+}
+
+func Outer() { LockA() }
+
+func Deep() { Outer() }
+`},
+	})
+	lockA := e.Func(funcNamed(t, e, ".LockA"))
+	if got := classNames(lockA.Acquires); len(got) != 1 || got[0] != "fix/s.muA/W" {
+		t.Fatalf("LockA.Acquires = %v, want [fix/s.muA/W]", got)
+	}
+	if len(lockA.Acquires[0].Chain) != 0 {
+		t.Errorf("direct acquire has chain %v, want empty", lockA.Acquires[0].Chain)
+	}
+	if !lockA.ReleasesClass("fix/s.muA") {
+		t.Errorf("LockA does not release fix/s.muA: %v", lockA.Releases)
+	}
+
+	outer := e.Func(funcNamed(t, e, ".Outer"))
+	if got := classNames(outer.Acquires); len(got) != 1 || got[0] != "fix/s.muA/W" {
+		t.Fatalf("Outer.Acquires = %v", got)
+	}
+	if chain := outer.Acquires[0].Chain; len(chain) != 1 || chain[0].Name != "LockA" {
+		t.Errorf("Outer chain = %v, want [LockA]", chain)
+	}
+
+	deep := e.Func(funcNamed(t, e, ".Deep"))
+	if chain := deep.Acquires[0].Chain; len(chain) != 2 || chain[0].Name != "Outer" || chain[1].Name != "LockA" {
+		t.Errorf("Deep chain = %v, want [Outer LockA]", chain)
+	}
+}
+
+func TestGoroutineAndClosureEffectsExcluded(t *testing.T) {
+	e := engineOver(t, map[string]map[string]string{
+		"fix/g": {"g.go": `package g
+
+import "sync"
+
+var mu sync.Mutex
+
+func locks() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func Spawner() { go locks() }
+
+func Closure() {
+	f := func() { locks() }
+	_ = f
+}
+
+func DeferredUnlock() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+`},
+	})
+	if f := e.Func(funcNamed(t, e, ".Spawner")); len(f.Acquires) != 0 || len(f.Releases) != 0 {
+		t.Errorf("goroutine effects leaked into Spawner: %+v", f)
+	}
+	if f := e.Func(funcNamed(t, e, ".Closure")); len(f.Acquires) != 0 {
+		t.Errorf("un-invoked closure effects leaked into Closure: %+v", f)
+	}
+	du := e.Func(funcNamed(t, e, ".DeferredUnlock"))
+	if !du.ReleasesClass("fix/g.mu") {
+		t.Errorf("deferred Unlock not counted as release: %v", du.Releases)
+	}
+	if len(du.Acquires) != 1 {
+		t.Errorf("DeferredUnlock.Acquires = %v", du.Acquires)
+	}
+}
+
+func TestRWModesAndSorts(t *testing.T) {
+	e := engineOver(t, map[string]map[string]string{
+		"fix/r": {"r.go": `package r
+
+import (
+	"sort"
+	"sync"
+)
+
+var rw sync.RWMutex
+
+func Reader() []int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return nil
+}
+
+func SortsViaHelper(xs []int) { normalize(xs) }
+
+func normalize(xs []int) { sort.Ints(xs) }
+`},
+	})
+	r := e.Func(funcNamed(t, e, ".Reader"))
+	if got := classNames(r.Acquires); len(got) != 1 || got[0] != "fix/r.rw/R" {
+		t.Errorf("Reader.Acquires = %v, want read mode", got)
+	}
+	if f := e.Func(funcNamed(t, e, ".normalize")); !f.Sorts {
+		t.Errorf("normalize.Sorts = false")
+	}
+	if f := e.Func(funcNamed(t, e, ".SortsViaHelper")); !f.Sorts {
+		t.Errorf("Sorts fact did not propagate through the call")
+	}
+}
+
+func TestRecursiveSCCFixpoint(t *testing.T) {
+	e := engineOver(t, map[string]map[string]string{
+		"fix/rec": {"rec.go": `package rec
+
+import "sync"
+
+var mu sync.Mutex
+
+func Ping(n int) {
+	if n > 0 {
+		Pong(n - 1)
+	}
+	mu.Lock()
+	mu.Unlock()
+}
+
+func Pong(n int) {
+	if n > 0 {
+		Ping(n - 1)
+	}
+}
+`},
+	})
+	for _, name := range []string{".Ping", ".Pong"} {
+		f := e.Func(funcNamed(t, e, name))
+		if got := classNames(f.Acquires); len(got) != 1 || got[0] != "fix/rec.mu/W" {
+			t.Errorf("%s.Acquires = %v, want [fix/rec.mu/W]", name, got)
+		}
+	}
+}
+
+func TestFieldClassKeys(t *testing.T) {
+	e := engineOver(t, map[string]map[string]string{
+		"fix/f": {"f.go": `package f
+
+import "sync"
+
+type Ctl struct {
+	mu sync.Mutex
+}
+
+func (c *Ctl) Commit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+`},
+	})
+	f := e.Func(funcNamed(t, e, ".Commit"))
+	if len(f.Acquires) != 1 {
+		t.Fatalf("Commit.Acquires = %v", f.Acquires)
+	}
+	eff := f.Acquires[0]
+	if eff.ClassKey != "fix/f.Ctl.mu" {
+		t.Errorf("field class key = %q, want fix/f.Ctl.mu", eff.ClassKey)
+	}
+	if eff.ClassName != "f.Ctl.mu" {
+		t.Errorf("field class name = %q, want f.Ctl.mu", eff.ClassName)
+	}
+}
+
+// cacheFixture is a three-package chain a -> b -> c, each layer calling
+// down, used by the invalidation tests.
+func cacheFixture() map[string]map[string]string {
+	return map[string]map[string]string{
+		"fix/c": {"c.go": `package c
+
+import "sync"
+
+var Mu sync.Mutex
+
+func Leaf() {
+	Mu.Lock()
+	Mu.Unlock()
+}
+`},
+		"fix/b": {"b.go": `package b
+
+import "fix/c"
+
+func Mid() { c.Leaf() }
+`},
+		"fix/a": {"a.go": `package a
+
+import "fix/b"
+
+func Top() { b.Mid() }
+`},
+	}
+}
+
+func TestCacheInvalidationRecomputesOnlyDependents(t *testing.T) {
+	e := engineOver(t, cacheFixture())
+	e.ComputeAll()
+	for _, p := range []string{"fix/a", "fix/b", "fix/c"} {
+		if e.Recomputes[p] != 1 {
+			t.Fatalf("after first compute, Recomputes[%s] = %d, want 1", p, e.Recomputes[p])
+		}
+	}
+
+	// Editing b invalidates b and its caller a; the leaf package c must
+	// keep its cached summaries.
+	e.Invalidate("fix/b")
+	e.ComputeAll()
+	want := map[string]int{"fix/a": 2, "fix/b": 2, "fix/c": 1}
+	for p, n := range want {
+		if e.Recomputes[p] != n {
+			t.Errorf("after Invalidate(b), Recomputes[%s] = %d, want %d", p, e.Recomputes[p], n)
+		}
+	}
+
+	// Top's chain survives the recompute intact.
+	top := e.Func(funcNamed(t, e, "fix/a.Top"))
+	if len(top.Acquires) != 1 || len(top.Acquires[0].Chain) != 2 {
+		t.Fatalf("Top.Acquires after recompute = %+v", top.Acquires)
+	}
+
+	// Invalidating the root recomputes only the root.
+	e.Invalidate("fix/a")
+	e.ComputeAll()
+	want = map[string]int{"fix/a": 3, "fix/b": 2, "fix/c": 1}
+	for p, n := range want {
+		if e.Recomputes[p] != n {
+			t.Errorf("after Invalidate(a), Recomputes[%s] = %d, want %d", p, e.Recomputes[p], n)
+		}
+	}
+
+	// Unknown package: no-op.
+	e.Invalidate("fix/nope")
+	e.ComputeAll()
+	if e.Recomputes["fix/a"] != 3 {
+		t.Errorf("Invalidate of unknown package caused recompute")
+	}
+}
+
+func TestDumpDeterminism(t *testing.T) {
+	// Two engines over the same loaded packages must dump byte-identical
+	// summaries (the cmd/rtwlint determinism test covers the full-run
+	// JSON path).
+	pkgs := linttest.LoadPackages(t, cacheFixture())
+	d1 := New(pkgs).Dump()
+	d2 := New(pkgs).Dump()
+	if !bytes.Equal(d1, d2) {
+		t.Errorf("dumps differ:\n%s\nvs\n%s", d1, d2)
+	}
+	if !bytes.Contains(d1, []byte("fix/c.Mu")) {
+		t.Errorf("dump lacks the lock class:\n%s", d1)
+	}
+}
+
+func TestFuncOutsideModule(t *testing.T) {
+	e := engineOver(t, cacheFixture())
+	if got := e.Func(nil); got != nil {
+		t.Errorf("Func(nil) = %+v, want nil", got)
+	}
+	var zero *FuncFacts
+	if zero.ReleasesClass("x") {
+		t.Errorf("nil FuncFacts claims to release")
+	}
+}

@@ -1,0 +1,28 @@
+// Fixture for the atomicmix analyzer, file 1: the atomic accesses that
+// taint Ctl.ctr and the package counter. The plain accesses under test
+// live in b.go — the mix only becomes visible module-wide.
+package atomicmix
+
+import "sync/atomic"
+
+type Ctl struct {
+	ctr  int64
+	safe int64
+}
+
+var hits int64
+
+func (c *Ctl) bump() {
+	atomic.AddInt64(&c.ctr, 1)
+	atomic.AddInt64(&hits, 1)
+}
+
+func (c *Ctl) loadCtr() int64 {
+	return atomic.LoadInt64(&c.ctr)
+}
+
+// plainOnly is fine: safe is never touched by sync/atomic.
+func (c *Ctl) plainOnly() int64 {
+	c.safe++
+	return c.safe
+}

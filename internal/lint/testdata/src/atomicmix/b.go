@@ -1,0 +1,33 @@
+// Fixture for the atomicmix analyzer, file 2: plain accesses of
+// variables a.go accesses atomically, plus the exempt shapes (address
+// passed to a helper, composite-literal initialization).
+package atomicmix
+
+func (c *Ctl) snapshot() int64 {
+	return c.ctr // want `Ctl\.ctr is accessed atomically .* plainly read`
+}
+
+func (c *Ctl) reset() {
+	c.ctr = 0 // want `Ctl\.ctr is accessed atomically .* plainly written`
+}
+
+func globalPeek() int64 {
+	if hits > 0 { // want `hits is accessed atomically .* plainly read`
+		return 1
+	}
+	return 0
+}
+
+func globalBump() {
+	hits++ // want `hits is accessed atomically .* plainly written`
+}
+
+// addrTaken is exempt: &hits may feed an atomic helper, and that
+// helper's own accesses are what get checked.
+func addrTaken() *int64 { return &hits }
+
+// construct is exempt: composite-literal keys initialize before the
+// value is shared.
+func construct() *Ctl {
+	return &Ctl{ctr: 0, safe: 0}
+}

@@ -5,6 +5,7 @@ package detrand
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -66,4 +67,36 @@ func mapOrder(m map[int]int) ([]int, int) {
 		recs = append(recs, k+n)
 	}
 	return keys, sum
+}
+
+// collector accumulates keys through helper methods; whether the
+// emission is order-independent depends on what the callee does, which
+// only the interprocedural summary can see.
+type collector struct{ keys []int }
+
+// addSorted appends and re-sorts: the collector's state is a pure
+// function of the key SET, not the insertion order.
+func (c *collector) addSorted(k int) {
+	c.keys = append(c.keys, k)
+	sort.Ints(c.keys)
+}
+
+// addUnsorted bakes the insertion order into the slice.
+func (c *collector) addUnsorted(k int) {
+	c.keys = append(c.keys, k)
+}
+
+func useCollector(m map[int]int) []int {
+	var c collector
+	// The collect-then-sort idiom moved into a callee: the summary's
+	// Sorts fact suppresses the report (this was a false positive
+	// before the call graph existed).
+	for k := range m {
+		c.addSorted(k)
+	}
+	// A callee that only appends is still order-dependent.
+	for k := range m { // want `map iteration order is nondeterministic`
+		c.addUnsorted(k)
+	}
+	return c.keys
 }

@@ -1,0 +1,99 @@
+// Fixture for the unlockpath analyzer: early returns that skip the
+// unlock, the interprocedural variant through lock/unlock helpers, and
+// the negative shapes (defer in all its forms, deliberate lock
+// helpers) that must stay silent.
+package unlockpath
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+// getMissing: the ok path unlocks, the early return forgets. The
+// acquire dominates every exit, so the defer fix applies (see the
+// .golden file).
+func (s *store) getMissing(k string) (int, bool) {
+	s.mu.Lock() // want `some path returns without unlocking`
+	v, ok := s.m[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// readMissing: the read-lock variant of the same bug.
+func (s *store) readMissing(k string) int {
+	s.rw.RLock() // want `some path returns without unlocking`
+	if v, ok := s.m[k]; ok {
+		s.rw.RUnlock()
+		return v
+	}
+	return 0
+}
+
+// deferred is fine: defer covers every path.
+func (s *store) deferred(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// deferredClosure is fine: the deferred closure unlocks.
+func (s *store) deferredClosure(k string) int {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	return s.m[k]
+}
+
+// paired is fine: both paths unlock before returning.
+func (s *store) paired(k string) int {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// lock is a deliberate lock-helper: it never releases, callers do.
+// Silent — returning locked is its contract.
+func (s *store) lock() { s.mu.Lock() }
+
+// unlock is the matching release helper.
+func (s *store) unlock() { s.mu.Unlock() }
+
+// helperMiss acquires through the lock helper and releases through the
+// unlock helper on one path only: the early return leaks the lock, and
+// only the helpers' summaries make that visible.
+func (s *store) helperMiss(k string) int {
+	s.lock() // want `still held at some return .*acquired via \(\*store\)\.lock`
+	if v, ok := s.m[k]; ok {
+		return v
+	}
+	s.unlock()
+	return 0
+}
+
+// helperDeferred is fine: the deferred unlock helper releases the
+// class on every path.
+func (s *store) helperDeferred(k string) int {
+	s.lock()
+	defer s.unlock()
+	return s.m[k]
+}
+
+// helperPaired is fine: every path goes through the unlock helper.
+func (s *store) helperPaired(k string) int {
+	s.lock()
+	if v, ok := s.m[k]; ok {
+		s.unlock()
+		return v
+	}
+	s.unlock()
+	return 0
+}

@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+	"repro/internal/lint/summary"
+)
+
+// Unlockpath flags the early-return unlock miss: a function that
+// acquires a lock — directly, or through a lock-helper call whose
+// summary says it acquires and does not release — and reaches a return
+// on some path with the lock still held, while other paths do release
+// it. The "other paths release it" condition is what separates a bug
+// from a deliberate lock-helper (a function whose whole job is to
+// return holding the lock never releases, and stays exempt).
+//
+// Deferred releases — `defer mu.Unlock()`, a deferred closure that
+// unlocks, a deferred call to a helper whose summary releases the
+// class — cover every path by construction and exempt the instance.
+//
+// When the acquisition is a plain statement at the top of the function
+// body (so it dominates every exit), the instance is acquired exactly
+// once, and every release is a plain `mu.Unlock()` statement, the
+// diagnostic carries a suggested fix: insert `defer mu.Unlock()` after
+// the acquisition and delete the manual unlocks.
+var Unlockpath = &analysis.Analyzer{
+	Name: "unlockpath",
+	Doc:  "detects paths that return while a lock acquired in the function is still held",
+	Run:  runUnlockpath,
+}
+
+func runUnlockpath(pass *analysis.Pass) error {
+	eng := moduleEngine(pass)
+	up := &unlockpathPass{pass: pass, eng: eng}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			up.analyze(fd)
+		}
+	}
+	return nil
+}
+
+type unlockpathPass struct {
+	pass *analysis.Pass
+	eng  *summary.Engine
+}
+
+// heldSite is one tracked acquisition: a direct (R)Lock, or a call to
+// a helper whose summary acquires and keeps a lock class.
+type heldSite struct {
+	instKey  string // "" for helper-call sites (class granularity)
+	instName string // display: "s.mu" or the class name for helpers
+	classKey string
+	mode     summary.Mode
+	pos      token.Pos
+	viaCall  string // helper display name when the site is a call
+	// stmt is the acquiring ExprStmt when it sits directly in the
+	// function body's top-level statement list (fix eligibility).
+	stmt *ast.ExprStmt
+}
+
+// fnState is the per-function analysis state.
+type fnState struct {
+	up      *unlockpathPass
+	node    *callgraph.Node // nil when the function has no graph node
+	sites   []heldSite
+	siteIDs map[string]int // site key (inst/class+mode+pos-less identity) -> id
+	calls   map[*ast.CallExpr][]*callgraph.Edge
+
+	// exemptInst / exemptClass: instances and classes with a deferred
+	// release somewhere in the function.
+	exemptInst  map[string]bool // instKey + "/" + mode
+	exemptClass map[string]bool
+
+	// releaseStmts collects the plain `x.Unlock()` statements per
+	// instKey+mode; releasedClasses the classes with any direct release;
+	// callReleases the classes released by non-deferred helper calls.
+	releaseStmts    map[string][]*ast.ExprStmt
+	releasedClasses map[string]bool
+	callReleases    map[string]bool
+	acquireCount    map[string]int // instKey or classKey -> direct acquire count
+}
+
+func (up *unlockpathPass) analyze(fd *ast.FuncDecl) {
+	fn, _ := up.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	st := &fnState{
+		up:              up,
+		siteIDs:         map[string]int{},
+		calls:           map[*ast.CallExpr][]*callgraph.Edge{},
+		exemptInst:      map[string]bool{},
+		exemptClass:     map[string]bool{},
+		releaseStmts:    map[string][]*ast.ExprStmt{},
+		releasedClasses: map[string]bool{},
+		callReleases:    map[string]bool{},
+		acquireCount:    map[string]int{},
+	}
+	if fn != nil {
+		st.node = up.eng.Graph.NodeOf(fn)
+	}
+	if st.node != nil {
+		for _, e := range st.node.Out {
+			st.calls[e.Site] = append(st.calls[e.Site], e)
+		}
+	}
+	st.scan(fd)
+
+	g := cfg.New(fd.Body)
+	res := dataflow.Forward[heldFactUP](g, upLattice{st})
+	exit := g.Exit().Index
+	if !res.Reached[exit] {
+		return
+	}
+	pending := decodeUP(res.In[exit])
+	ids := make([]int, 0, len(pending))
+	for i := range pending {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		st.report(st.sites[i])
+	}
+}
+
+// scan walks the function once, syntactically, collecting deferred
+// releases (exemptions), plain release statements, and per-instance
+// acquire counts.
+func (st *fnState) scan(fd *ast.FuncDecl) {
+	info := st.up.pass.TypesInfo
+	tpkg := st.up.pass.Pkg
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			st.scanDefer(n)
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			return false // a non-deferred closure's effects are not path-bound
+		case *ast.CallExpr:
+			if op, ok := summary.ResolveLockOp(info, tpkg, n); ok {
+				key := op.InstKey + "/" + op.Mode.String()
+				if op.Acquire {
+					st.acquireCount[key]++
+				} else {
+					st.releasedClasses[op.ClassKey] = true
+					if len(stack) >= 2 {
+						if es, ok := stack[len(stack)-2].(*ast.ExprStmt); ok {
+							st.releaseStmts[key] = append(st.releaseStmts[key], es)
+						}
+					}
+				}
+				return true
+			}
+			for _, e := range st.calls[n] {
+				if e.Go || e.Defer || e.InLit {
+					continue
+				}
+				for _, rel := range st.up.eng.Func(e.Callee.Func).Releases {
+					st.callReleases[rel] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanDefer records the exemptions one defer statement provides: a
+// direct deferred release, a deferred closure that releases, or a
+// deferred helper whose summary releases a class.
+func (st *fnState) scanDefer(d *ast.DeferStmt) {
+	info := st.up.pass.TypesInfo
+	tpkg := st.up.pass.Pkg
+	if op, ok := summary.ResolveLockOp(info, tpkg, d.Call); ok && !op.Acquire {
+		st.exemptInst[op.InstKey+"/"+op.Mode.String()] = true
+		return
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ok := summary.ResolveLockOp(info, tpkg, call); ok && !op.Acquire {
+					st.exemptInst[op.InstKey+"/"+op.Mode.String()] = true
+				}
+			}
+			return true
+		})
+		return
+	}
+	for _, e := range st.calls[d.Call] {
+		for _, rel := range st.up.eng.Func(e.Callee.Func).Releases {
+			st.exemptClass[rel] = true
+		}
+	}
+}
+
+// heldFactUP is the sorted site-id set, string-encoded.
+type heldFactUP string
+
+type upLattice struct{ st *fnState }
+
+func (upLattice) Entry() heldFactUP { return "" }
+func (l upLattice) Transfer(n ast.Node, in heldFactUP) heldFactUP {
+	return l.st.step(n, in)
+}
+func (upLattice) Join(a, b heldFactUP) heldFactUP {
+	set := decodeUP(a)
+	for k := range decodeUP(b) {
+		set[k] = true
+	}
+	return encodeUP(set)
+}
+func (upLattice) Equal(a, b heldFactUP) bool { return a == b }
+
+func decodeUP(f heldFactUP) map[int]bool {
+	set := map[int]bool{}
+	if f == "" {
+		return set
+	}
+	for _, s := range strings.Split(string(f), ",") {
+		v, _ := strconv.Atoi(s)
+		set[v] = true
+	}
+	return set
+}
+
+func encodeUP(set map[int]bool) heldFactUP {
+	if len(set) == 0 {
+		return ""
+	}
+	vals := make([]int, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return heldFactUP(strings.Join(parts, ","))
+}
+
+// internSite registers (or finds) the site for an acquisition.
+func (st *fnState) internSite(s heldSite) int {
+	key := s.instKey + "\x00" + s.classKey + "\x00" + s.mode.String() + "\x00" + strconv.Itoa(int(s.pos))
+	if id, ok := st.siteIDs[key]; ok {
+		return id
+	}
+	id := len(st.sites)
+	st.siteIDs[key] = id
+	st.sites = append(st.sites, s)
+	return id
+}
+
+// step applies one CFG node's lock effects to the held-site set.
+func (st *fnState) step(n ast.Node, in heldFactUP) heldFactUP {
+	set := decodeUP(in)
+	info := st.up.pass.TypesInfo
+	tpkg := st.up.pass.Pkg
+	cfg.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false // deferred releases are exemptions, not path events
+		case *ast.CallExpr:
+			if op, ok := summary.ResolveLockOp(info, tpkg, m); ok {
+				if op.Acquire {
+					if st.exemptInst[op.InstKey+"/"+op.Mode.String()] || st.exemptClass[op.ClassKey] {
+						return true
+					}
+					s := heldSite{
+						instKey: op.InstKey, instName: op.InstName,
+						classKey: op.ClassKey, mode: op.Mode, pos: op.Pos,
+					}
+					s.stmt = st.topLevelStmt(m)
+					set[st.internSite(s)] = true
+				} else {
+					for id := range set {
+						s := st.sites[id]
+						if (s.instKey != "" && s.instKey == op.InstKey && s.mode == op.Mode) ||
+							(s.instKey == "" && s.classKey == op.ClassKey && s.mode == op.Mode) {
+							delete(set, id)
+						}
+					}
+				}
+				return true
+			}
+			for _, e := range st.calls[m] {
+				if e.Go || e.Defer || e.InLit {
+					continue
+				}
+				facts := st.up.eng.Func(e.Callee.Func)
+				if facts == nil {
+					continue
+				}
+				// Classes the callee releases come off the held set.
+				for id := range set {
+					if facts.ReleasesClass(st.sites[id].classKey) {
+						delete(set, id)
+					}
+				}
+				// Classes it acquires and keeps become call sites.
+				for _, eff := range facts.Acquires {
+					if facts.ReleasesClass(eff.ClassKey) || st.exemptClass[eff.ClassKey] {
+						continue
+					}
+					set[st.internSite(heldSite{
+						instName: eff.ClassName, classKey: eff.ClassKey,
+						mode: eff.Mode, pos: e.Pos(),
+						viaCall: callgraph.DisplayName(e.Callee.Func),
+					})] = true
+				}
+			}
+		}
+		return true
+	})
+	return encodeUP(set)
+}
+
+// topLevelStmt returns the ExprStmt wrapping the call when it sits
+// directly in the analyzed function body's statement list.
+func (st *fnState) topLevelStmt(call *ast.CallExpr) *ast.ExprStmt {
+	// The CFG hands us statements whole; re-finding the parent via the
+	// body list is cheap and keeps step() free of stack bookkeeping.
+	if st.node == nil {
+		return nil
+	}
+	for _, s := range st.node.Decl.Body.List {
+		es, ok := s.(*ast.ExprStmt)
+		if ok && ast.Unparen(es.X) == call {
+			return es
+		}
+	}
+	return nil
+}
+
+// report emits the diagnostic for a site still held at exit, applying
+// the deliberate-lock-helper filter: no release of the lock anywhere
+// in the function means returning locked is the function's contract.
+func (st *fnState) report(s heldSite) {
+	modeKey := s.instKey + "/" + s.mode.String()
+	releases := st.releaseStmts[modeKey]
+	hasRelease := len(releases) > 0 ||
+		st.releasedClasses[s.classKey] || st.callReleases[s.classKey]
+	if !hasRelease {
+		return
+	}
+	verb := "Unlock"
+	if s.mode == summary.Read {
+		verb = "RUnlock"
+	}
+	var msg string
+	if s.viaCall != "" {
+		msg = fmt.Sprintf(
+			"%s is still held at some return of this function (acquired via %s here, released on other paths only)",
+			s.instName, s.viaCall)
+	} else {
+		msg = fmt.Sprintf(
+			"%s.%s() here, but some path returns without unlocking (%s is released on other paths, so this is not a lock-helper)",
+			s.instName, map[summary.Mode]string{summary.Write: "Lock", summary.Read: "RLock"}[s.mode],
+			s.instName)
+	}
+	d := analysis.Diagnostic{Pos: s.pos, Message: msg}
+	if s.stmt != nil && s.viaCall == "" &&
+		st.acquireCount[modeKey] == 1 &&
+		!st.callReleases[s.classKey] &&
+		len(releases) > 0 {
+		edits := []analysis.TextEdit{{
+			Pos:     s.stmt.End(),
+			End:     s.stmt.End(),
+			NewText: []byte("\ndefer " + s.instName + "." + verb + "()"),
+		}}
+		for _, rs := range releases {
+			edits = append(edits, analysis.TextEdit{Pos: rs.Pos(), End: rs.End()})
+		}
+		d.SuggestedFixes = []analysis.SuggestedFix{{
+			Message:   fmt.Sprintf("defer %s.%s() at the acquisition and drop the manual unlocks", s.instName, verb),
+			TextEdits: edits,
+		}}
+	}
+	st.up.pass.Report(d)
+}

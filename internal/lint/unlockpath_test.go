@@ -1,0 +1,15 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
+)
+
+// TestUnlockpath checks diagnostics and verifies the suggested
+// defer-unlock fixes against unlockpath.go.golden.
+func TestUnlockpath(t *testing.T) {
+	analysistest.RunWithFixes(t, []*analysis.Analyzer{Unlockpath},
+		"testdata/src/unlockpath", "repro/internal/lintfix/unlockpath")
+}
