@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-fix lint-sarif bench bench-json load-smoke reproduce quick-reproduce fuzz cover clean
+.PHONY: all build test test-race vet lint lint-fix lint-sarif bench bench-json load-smoke explore-smoke reproduce quick-reproduce fuzz cover clean
 
 all: build vet lint test
 
@@ -55,7 +55,7 @@ bench:
 # converted to JSON at the repo root (committed; see
 # docs/PERFORMANCE.md for the tracked numbers and how to compare).
 bench-json:
-	$(GO) test -run '^$$' -bench '^(BenchmarkTable[1-5]|BenchmarkCalU|BenchmarkHPSetConstruction|BenchmarkSimulator|BenchmarkAdmitIncremental|BenchmarkAdmitFull|BenchmarkDaemonLoad)$$' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable[1-5]|BenchmarkCalU|BenchmarkHPSetConstruction|BenchmarkSimulator|BenchmarkAdmitIncremental|BenchmarkAdmitFull|BenchmarkDaemonLoad|BenchmarkExploreSweep)$$' \
 		-benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_core.json
 
 # Short deterministic load run against a hermetic in-process daemon:
@@ -64,6 +64,20 @@ bench-json:
 load-smoke:
 	$(GO) run ./cmd/rtwormload -ops 300 -rate 1000 -seed 1 -clients 6 \
 		-chaos -chaos-down 20ms -slo-errors 0 -slo-shed 0 -check -o /dev/null
+
+# Tiny deterministic design-space smoke: sweep then synthesise an
+# 8-point grid with simulator cross-validation. -check fails the target
+# unless some sim-validated configuration admits the whole workload.
+# The grid is chosen so the buffer-depth axis matters: the origin mesh
+# admits the pool analytically at either depth, but only depth 2
+# survives validation. See docs/EXPLORER.md.
+explore-smoke:
+	$(GO) run ./cmd/rtwexplore sweep -streams 12 -plevels 4 -genseed 1 \
+		-topos mesh2d-10x10,ring-4 -vcs 1,4 -buffers 1,2 -policies workload \
+		-validate -cycles 3000 -check
+	$(GO) run ./cmd/rtwexplore synth -streams 12 -plevels 4 -genseed 1 \
+		-topos mesh2d-10x10,ring-4 -vcs 1,4 -buffers 1,2 -policies workload \
+		-validate -cycles 3000 -check
 
 # Full paper reproduction into out/ (tables, figures+SVG, sweeps,
 # crosscheck, summary).

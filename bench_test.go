@@ -7,6 +7,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/explore"
 	"repro/internal/place"
 	"repro/internal/routing"
 	"repro/internal/sched"
@@ -559,3 +560,45 @@ func BenchmarkAdmitIncremental(b *testing.B) { benchAdmitChurn(b, false) }
 // BenchmarkAdmitFull: the same churn with FullRecompute — the cost an
 // admission controller would pay without dirty-set invalidation.
 func BenchmarkAdmitFull(b *testing.B) { benchAdmitChurn(b, true) }
+
+// ----- Design-space explorer ------------------------------------------
+
+// benchExploreSweep scores a fixed grid (two topologies × three VC
+// ladders × two buffer depths) against a 12-stream §5 pool, reporting
+// configuration points evaluated per second. The validated variant
+// additionally replays every fully-admitting point through the
+// flit-level simulator — the cost of turning an analysis verdict into
+// a sim-backed one.
+func benchExploreSweep(b *testing.B, validate bool) {
+	w, err := explore.PaperPool(12, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := explore.Space{
+		Topologies: []string{"mesh2d-10x10", "ring-16"},
+		Routings:   []string{explore.RoutingCanonical},
+		VCs:        []int{1, 2, 4},
+		Buffers:    []int{1, 2},
+		Policies:   []string{explore.PolicyWorkload},
+	}
+	var points int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := explore.Sweep(w, sp, explore.SweepConfig{
+			Seed: 1, Eval: explore.EvalConfig{Validate: validate, ValidateCycles: 2000},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points += len(res.Points)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(points)/sec, "points/s")
+	}
+}
+
+func BenchmarkExploreSweep(b *testing.B) {
+	b.Run("analysis", func(b *testing.B) { benchExploreSweep(b, false) })
+	b.Run("validated", func(b *testing.B) { benchExploreSweep(b, true) })
+}

@@ -6,6 +6,11 @@
 //
 //	netsim [-cycles N] [-warmup N] [-arbiter preemptive|nonpreemptive-fifo|nonpreemptive-priority|li]
 //	       [-buffer N] [-strict] [-bounds] [file.json]
+//	netsim -topology ring-16 [-streams N] [-plevels P] [-genseed S] ...
+//
+// With -topology, no input file is read: a paper-§5-style workload is
+// generated on the named topology (mesh2d-WxH, torus2d-WxH,
+// hypercube-D or ring-N) with its canonical deterministic routing.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -32,9 +38,16 @@ func main() {
 	dropLate := flag.Bool("droplate", false, "abort messages older than their deadline")
 	jitter := flag.Int("jitter", 0, "sporadic release jitter added to each inter-release gap")
 	deadlock := flag.Int("deadlock", 0, "deadlock-detector threshold in cycles (0 = off)")
+	topoName := flag.String("topology", "", "generate a §5-style workload on this topology (mesh2d-WxH, torus2d-WxH, hypercube-D, ring-N) instead of reading a stream-set file")
+	streams := flag.Int("streams", 16, "generated streams (with -topology)")
+	plevels := flag.Int("plevels", 4, "generated priority levels (with -topology)")
+	genseed := flag.Int64("genseed", 1, "workload generation seed (with -topology)")
 	flag.Parse()
 
-	opts := simOptions{dropLate: *dropLate, jitter: *jitter, deadlock: *deadlock}
+	opts := simOptions{
+		dropLate: *dropLate, jitter: *jitter, deadlock: *deadlock,
+		topology: *topoName, streams: *streams, plevels: *plevels, genseed: *genseed,
+	}
 	if err := run(*cycles, *warmup, *arbiter, *buffer, *strict, *bounds, *heatmap, *stalls, opts, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
@@ -54,22 +67,46 @@ type simOptions struct {
 	dropLate bool
 	jitter   int
 	deadlock int
+
+	// Workload generation (-topology mode).
+	topology string
+	streams  int
+	plevels  int
+	genseed  int64
 }
 
-func run(cycles, warmup int, arbiter string, buffer int, strict, bounds, heatmap, stalls bool, opts simOptions, args []string) error {
+// loadSet reads the stream set from a file/stdin, or generates one on
+// the named topology when -topology is set.
+func loadSet(opts simOptions, args []string) (*stream.Set, error) {
+	if opts.topology != "" {
+		if len(args) > 0 {
+			return nil, fmt.Errorf("-topology and an input file are mutually exclusive")
+		}
+		topo, err := topology.Parse(opts.topology)
+		if err != nil {
+			return nil, err
+		}
+		cfg := workload.PaperDefaults(opts.streams, opts.plevels, opts.genseed)
+		set, _, err := workload.GenerateOn(topo, cfg)
+		return set, err
+	}
 	var in io.Reader = os.Stdin
 	if len(args) > 1 {
-		return fmt.Errorf("at most one input file, got %d", len(args))
+		return nil, fmt.Errorf("at most one input file, got %d", len(args))
 	}
 	if len(args) == 1 {
 		f, err := os.Open(args[0])
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		in = f
 	}
-	set, err := stream.DecodeSet(in)
+	return stream.DecodeSet(in)
+}
+
+func run(cycles, warmup int, arbiter string, buffer int, strict, bounds, heatmap, stalls bool, opts simOptions, args []string) error {
+	set, err := loadSet(opts, args)
 	if err != nil {
 		return err
 	}

@@ -40,3 +40,23 @@ func TestRunErrors(t *testing.T) {
 		t.Error("accepted missing file")
 	}
 }
+
+func TestRunTopologyMode(t *testing.T) {
+	for _, name := range []string{"ring-12", "hypercube-4", "torus2d-4x4", "mesh2d-4x4"} {
+		opts := simOptions{topology: name, streams: 8, plevels: 4, genseed: 1}
+		if err := run(1500, 100, "preemptive", 2, false, true, false, false, opts, nil); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunTopologyModeErrors(t *testing.T) {
+	opts := simOptions{topology: "bus-4", streams: 8, plevels: 4, genseed: 1}
+	if err := run(1000, 100, "preemptive", 2, false, false, false, false, opts, nil); err == nil {
+		t.Error("accepted unknown topology")
+	}
+	opts = simOptions{topology: "ring-8", streams: 8, plevels: 4, genseed: 1}
+	if err := run(1000, 100, "preemptive", 2, false, false, false, false, opts, []string{"x.json"}); err == nil {
+		t.Error("accepted -topology together with an input file")
+	}
+}

@@ -109,6 +109,14 @@ type Config struct {
 	// baseline of BenchmarkAdmitFull; results are identical either way
 	// (pinned by the differential battery).
 	FullRecompute bool
+	// Router overrides the topology's canonical deterministic router
+	// (nil = canonical). The design-space explorer uses it to sweep
+	// routing policies (X-Y versus Y-X on a mesh) through the same
+	// admission path. Snapshots do not record the override: Restore
+	// re-routes with the restoring controller's own router, so a
+	// controller with a non-canonical Router should not be restored
+	// from a canonical snapshot or vice versa.
+	Router routing.Router
 }
 
 // Controller is a live admission controller. All methods are safe for
@@ -130,11 +138,14 @@ type Controller struct {
 }
 
 // New returns an empty controller over t using its canonical
-// deterministic router.
+// deterministic router, or cfg.Router when set.
 func New(t topology.Topology, cfg Config) (*Controller, error) {
-	r, err := routing.ForTopology(t)
-	if err != nil {
-		return nil, err
+	r := cfg.Router
+	if r == nil {
+		var err error
+		if r, err = routing.ForTopology(t); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.RouterLatency < 0 {
 		return nil, fmt.Errorf("admit: negative router latency %d", cfg.RouterLatency)

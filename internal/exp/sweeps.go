@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/priority"
 	"repro/internal/sim"
@@ -29,8 +30,11 @@ type LoadPoint struct {
 // the behavioural claim behind Figure 2, swept over load instead of a
 // single adversarial scenario.
 func LoadSweep(streams, plevels int, seed int64, scales []float64, arbiter sim.ArbiterKind, cycles int) ([]LoadPoint, error) {
-	if len(scales) == 0 {
-		return nil, fmt.Errorf("exp: no load scales")
+	// The load-scale axis is validated up front by the shared grid
+	// helpers (package grid), the same machinery the design-space
+	// explorer sweeps with, so the two kinds of sweep cannot drift.
+	if err := grid.PositiveFloats("load scale", scales); err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
 	}
 	cfg := workload.PaperDefaults(streams, plevels, seed)
 	cfg.InflatePeriods = false
@@ -46,9 +50,6 @@ func LoadSweep(streams, plevels int, seed int64, scales []float64, arbiter sim.A
 	}
 	var out []LoadPoint
 	for _, scale := range scales {
-		if scale <= 0 {
-			return nil, fmt.Errorf("exp: scale %f must be positive", scale)
-		}
 		scaled := stream.NewSet(base.Topology)
 		scaled.RouterLatency = base.RouterLatency
 		for _, s := range base.Streams {
@@ -158,11 +159,11 @@ type QuantizationPoint struct {
 // progressively fewer VC levels, reporting the top-band ratio — the
 // paper's "practical resource constraints" trade-off made concrete.
 func QuantizationSweep(streams int, vcCounts []int, seed int64, cycles int) ([]QuantizationPoint, error) {
+	if err := grid.PositiveInts("vc count", vcCounts); err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
 	var out []QuantizationPoint
 	for _, vcs := range vcCounts {
-		if vcs < 1 {
-			return nil, fmt.Errorf("exp: vc count %d", vcs)
-		}
 		cfg := workload.PaperDefaults(streams, 1, seed)
 		cfg.InflatePeriods = false
 		set, _, err := workload.Generate(cfg)
@@ -221,11 +222,11 @@ type RouterLatencyPoint struct {
 // latencies grow together, showing the model extension stays
 // consistent end to end.
 func RouterLatencySweep(streams, plevels int, seed int64, depths []int, cycles int) ([]RouterLatencyPoint, error) {
+	if err := grid.NonNegativeInts("router latency", depths); err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
 	var out []RouterLatencyPoint
 	for _, r := range depths {
-		if r < 0 {
-			return nil, fmt.Errorf("exp: negative router latency %d", r)
-		}
 		cfg := workload.PaperDefaults(streams, plevels, seed)
 		cfg.InflatePeriods = false
 		base, _, err := workload.Generate(cfg)

@@ -1,0 +1,43 @@
+package explore
+
+import "fmt"
+
+// CostModel prices a network configuration in abstract hardware units.
+// The three weights cover the resources the grid actually varies:
+// router/processing nodes, virtual-channel state machines (one per
+// directed link per VC), and flit buffers (one per directed link per
+// VC per buffer slot). Cost is integral so orderings are exact.
+//
+//	cost = PerNode·nodes + PerVC·links·VCs + PerBufferFlit·links·VCs·depth
+type CostModel struct {
+	PerNode       int `json:"perNode"`
+	PerVC         int `json:"perVC"`
+	PerBufferFlit int `json:"perBufferFlit"`
+}
+
+// DefaultCostModel weights a node as 4 units, a VC as 2 and a buffered
+// flit slot as 1 — VC logic costs more than a buffer slot, a router
+// more than either, matching the relative silicon areas the NoC
+// synthesis literature assumes. The absolute scale is irrelevant: only
+// the induced ordering matters, and any all-positive weighting gives
+// the same qualitative frontier.
+func DefaultCostModel() CostModel {
+	return CostModel{PerNode: 4, PerVC: 2, PerBufferFlit: 1}
+}
+
+func (c CostModel) validate() error {
+	if c.PerNode < 0 || c.PerVC < 0 || c.PerBufferFlit < 0 {
+		return fmt.Errorf("explore: negative cost weight %+v", c)
+	}
+	if c.PerNode == 0 && c.PerVC == 0 && c.PerBufferFlit == 0 {
+		return fmt.Errorf("explore: all cost weights zero")
+	}
+	return nil
+}
+
+// Cost prices one configuration.
+func (c CostModel) Cost(nodes, links, vcs, depth int) int64 {
+	return int64(c.PerNode)*int64(nodes) +
+		int64(c.PerVC)*int64(links)*int64(vcs) +
+		int64(c.PerBufferFlit)*int64(links)*int64(vcs)*int64(depth)
+}

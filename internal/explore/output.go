@@ -1,0 +1,90 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strconv"
+
+	"repro/internal/viz"
+)
+
+// csvHeader is the column set shared by sweep and synth CSV output —
+// one row per evaluated point.
+var csvHeader = []string{
+	"index", "topology", "routing", "vcs", "buffer", "policy",
+	"nodes", "links", "cost",
+	"total", "admitted", "admittedUtil", "totalUtil",
+	"fullyAdmitted", "validated", "simDelivered", "simMisses", "admitting",
+}
+
+func csvRow(p *PointResult) []string {
+	return []string{
+		strconv.Itoa(p.Index), p.Topology, p.Routing,
+		strconv.Itoa(p.VCs), strconv.Itoa(p.Buffer), p.Policy,
+		strconv.Itoa(p.Nodes), strconv.Itoa(p.Links),
+		strconv.FormatInt(p.Cost, 10),
+		strconv.Itoa(p.Total), strconv.Itoa(p.Admitted),
+		strconv.FormatFloat(p.AdmittedUtil, 'g', -1, 64),
+		strconv.FormatFloat(p.TotalUtil, 'g', -1, 64),
+		strconv.FormatBool(p.FullyAdmitted), strconv.FormatBool(p.Validated),
+		strconv.Itoa(p.SimDelivered), strconv.Itoa(p.SimMisses),
+		strconv.FormatBool(p.Admitting),
+	}
+}
+
+func pointsCSV(points []PointResult) ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(csvHeader); err != nil {
+		return nil, err
+	}
+	for i := range points {
+		if err := w.Write(csvRow(&points[i])); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// CSV renders every swept point, one row per point, in grid order.
+func (r *SweepResult) CSV() ([]byte, error) { return pointsCSV(r.Points) }
+
+// CSV renders the Pareto frontier, one row per frontier point, in cost
+// order.
+func (r *SynthResult) CSV() ([]byte, error) { return pointsCSV(r.Frontier) }
+
+// SVG plots every swept point as (cost, admitted utilization), with
+// the best-scoring point highlighted.
+func (r *SweepResult) SVG() string {
+	pts := make([]viz.ScatterPoint, len(r.Points))
+	for i := range r.Points {
+		pts[i] = viz.ScatterPoint{
+			X: float64(r.Points[i].Cost), Y: r.Points[i].AdmittedUtil,
+			Highlight: r.Points[i].Index == r.BestIndex,
+		}
+	}
+	title := fmt.Sprintf("Design-space sweep — %s (%d points, spread %.1f%%)",
+		r.Workload, len(r.Points), r.SpreadPct)
+	return viz.ScatterSVG(title, "configuration cost", "admitted utilization", pts)
+}
+
+// SVG plots the synthesis frontier as a cost/admitted-utilization step
+// curve with the winning configuration highlighted.
+func (r *SynthResult) SVG() string {
+	pts := make([]viz.ScatterPoint, len(r.Frontier))
+	for i := range r.Frontier {
+		pts[i] = viz.ScatterPoint{
+			X: float64(r.Frontier[i].Cost), Y: r.Frontier[i].AdmittedUtil,
+			Line:      true,
+			Highlight: r.Winner != nil && r.Frontier[i].Index == r.Winner.Index,
+		}
+	}
+	title := fmt.Sprintf("Synthesis frontier — %s (%d/%d points evaluated)",
+		r.Workload, r.Evaluated, r.GridPoints)
+	return viz.ScatterSVG(title, "configuration cost", "admitted utilization", pts)
+}

@@ -1,0 +1,179 @@
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Routing policy names. Canonical is topology.Parse's deterministic
+// default per family (X-Y, dimension-order, e-cube, shortest arc); XY
+// and YX name the two mesh dimension orders explicitly and are valid
+// only on mesh topologies.
+const (
+	RoutingCanonical = "canonical"
+	RoutingXY        = "xy"
+	RoutingYX        = "yx"
+)
+
+// Priority-assignment policy names. PolicyWorkload keeps the
+// workload's own priorities; the monotonic policies re-rank by period
+// or deadline. Whatever the policy, priorities are then quantized onto
+// the point's VC count (the paper's one-VC-per-priority-level scheme).
+const (
+	PolicyWorkload          = "workload"
+	PolicyRateMonotonic     = "rate-monotonic"
+	PolicyDeadlineMonotonic = "deadline-monotonic"
+)
+
+// Space is the swept region: one value list per axis. Every axis must
+// be non-empty; Topologies are short names (topology.Parse).
+type Space struct {
+	Topologies []string `json:"topologies"`
+	Routings   []string `json:"routings"`
+	VCs        []int    `json:"vcs"`
+	Buffers    []int    `json:"buffers"`
+	Policies   []string `json:"policies"`
+}
+
+// DefaultSpace is the grid swept when the caller gives none: the four
+// topology families at §5 scale, canonical routing, a VC ladder, both
+// buffer depths, workload priorities.
+func DefaultSpace() Space {
+	return Space{
+		Topologies: []string{"mesh2d-10x10", "torus2d-10x10", "hypercube-7", "ring-100"},
+		Routings:   []string{RoutingCanonical},
+		VCs:        []int{1, 2, 4, 8},
+		Buffers:    []int{1, 2},
+		Policies:   []string{PolicyWorkload},
+	}
+}
+
+// Point is one evaluable configuration: a cell of the cartesian grid.
+// Index is the cell's position in full-grid enumeration order (before
+// invalid topology/routing combinations are dropped), so a point's
+// Seed never depends on which other combinations were swept alongside
+// it being valid or not.
+type Point struct {
+	Index    int    `json:"index"`
+	Topology string `json:"topology"`
+	Routing  string `json:"routing"`
+	VCs      int    `json:"vcs"`
+	Buffer   int    `json:"buffer"`
+	Policy   string `json:"policy"`
+	Seed     int64  `json:"seed"`
+}
+
+// validate checks every axis value once, before enumeration.
+func (s Space) validate() error {
+	if len(s.Topologies) == 0 {
+		return fmt.Errorf("explore: no topologies")
+	}
+	seen := make(map[string]bool, len(s.Topologies))
+	for _, name := range s.Topologies {
+		if seen[name] {
+			return fmt.Errorf("explore: duplicate topology %q", name)
+		}
+		seen[name] = true
+		if _, err := topology.Parse(name); err != nil {
+			return err
+		}
+	}
+	if len(s.Routings) == 0 {
+		return fmt.Errorf("explore: no routing policies")
+	}
+	for _, r := range s.Routings {
+		switch r {
+		case RoutingCanonical, RoutingXY, RoutingYX:
+		default:
+			return fmt.Errorf("explore: unknown routing policy %q", r)
+		}
+	}
+	if err := grid.PositiveInts("vc count", s.VCs); err != nil {
+		return err
+	}
+	if err := grid.PositiveInts("buffer depth", s.Buffers); err != nil {
+		return err
+	}
+	if len(s.Policies) == 0 {
+		return fmt.Errorf("explore: no priority policies")
+	}
+	for _, p := range s.Policies {
+		switch p {
+		case PolicyWorkload, PolicyRateMonotonic, PolicyDeadlineMonotonic:
+		default:
+			return fmt.Errorf("explore: unknown priority policy %q", p)
+		}
+	}
+	return nil
+}
+
+// Enumerate lists the space's valid points in deterministic grid
+// order. Topology/routing combinations that do not exist (XY or YX on
+// a non-mesh) are dropped; every surviving point keeps its full-grid
+// index, and Seed = grid.PointSeed(seed, index).
+func (s Space) Enumerate(seed int64) ([]Point, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	g, err := grid.New(
+		grid.Axis{Name: "topology", Len: len(s.Topologies)},
+		grid.Axis{Name: "routing", Len: len(s.Routings)},
+		grid.Axis{Name: "vcs", Len: len(s.VCs)},
+		grid.Axis{Name: "buffer", Len: len(s.Buffers)},
+		grid.Axis{Name: "policy", Len: len(s.Policies)},
+	)
+	if err != nil {
+		return nil, err
+	}
+	var points []Point
+	err = g.ForEach(func(i int, c []int) error {
+		name := s.Topologies[c[0]]
+		rt := s.Routings[c[1]]
+		topo, err := topology.Parse(name)
+		if err != nil {
+			return err
+		}
+		if _, err := routerFor(topo, rt); err != nil {
+			return nil // invalid combination: drop the point, keep indexes
+		}
+		points = append(points, Point{
+			Index:    i,
+			Topology: name,
+			Routing:  rt,
+			VCs:      s.VCs[c[2]],
+			Buffer:   s.Buffers[c[3]],
+			Policy:   s.Policies[c[4]],
+			Seed:     grid.PointSeed(seed, i),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("explore: no valid topology/routing combinations in the space")
+	}
+	return points, nil
+}
+
+// routerFor resolves a routing policy name on a concrete topology.
+func routerFor(topo topology.Topology, policy string) (routing.Router, error) {
+	switch policy {
+	case RoutingCanonical:
+		return routing.ForTopology(topo)
+	case RoutingXY, RoutingYX:
+		m, ok := topo.(*topology.Mesh2D)
+		if !ok {
+			return nil, fmt.Errorf("explore: routing %q needs a mesh, got %s", policy, topo.Name())
+		}
+		if policy == RoutingXY {
+			return routing.NewXY(m), nil
+		}
+		return routing.NewYX(m), nil
+	default:
+		return nil, fmt.Errorf("explore: unknown routing policy %q", policy)
+	}
+}

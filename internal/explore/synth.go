@@ -1,0 +1,223 @@
+package explore
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// SynthConfig tunes a synthesis search. The zero value for every knob
+// picks the documented default.
+type SynthConfig struct {
+	// Seed drives all placement randomness, exactly as in SweepConfig.
+	Seed int64
+	// Workers is the evaluation pool width; <= 0 uses GOMAXPROCS. The
+	// search result is byte-identical for every width.
+	Workers int
+	// Cost prices each point; the zero value means DefaultCostModel.
+	Cost CostModel
+	// Eval tunes per-point evaluation (simulator cross-validation).
+	Eval EvalConfig
+	// ExhaustiveLimit: grids with at most this many valid points are
+	// evaluated exhaustively instead of cheapest-first with early stop
+	// (default 64; the full frontier is worth more than the pruning on
+	// a grid that small).
+	ExhaustiveLimit int
+	// ChunkSize is the pruning granularity of the cheapest-first
+	// search: points are evaluated in cost order, ChunkSize at a time,
+	// and the search stops after the first chunk that contains an
+	// admitting point. Fixed per search — never derived from Workers —
+	// so the evaluated prefix is worker-count independent (default 16).
+	ChunkSize int
+}
+
+func (c SynthConfig) exhaustiveLimit() int {
+	if c.ExhaustiveLimit <= 0 {
+		return 64
+	}
+	return c.ExhaustiveLimit
+}
+
+func (c SynthConfig) chunkSize() int {
+	if c.ChunkSize <= 0 {
+		return 16
+	}
+	return c.ChunkSize
+}
+
+// SynthResult is the outcome of a synthesis search: the cheapest
+// configuration that admits the whole workload (nil if none exists in
+// the space) plus the Pareto frontier of (cost, admitted utilization)
+// over every point the search evaluated.
+type SynthResult struct {
+	Workload  string    `json:"workload"`
+	Demands   int       `json:"demands"`
+	TotalUtil float64   `json:"totalUtil"`
+	Seed      int64     `json:"seed"`
+	Space     Space     `json:"space"`
+	Cost      CostModel `json:"cost"`
+
+	// GridPoints is the number of valid points in the space; Evaluated
+	// is how many the search actually scored (== GridPoints when
+	// Exhaustive, usually far fewer otherwise).
+	GridPoints int  `json:"gridPoints"`
+	Evaluated  int  `json:"evaluated"`
+	Exhaustive bool `json:"exhaustive"`
+
+	// Winner is the admitting point with minimal (cost, grid index),
+	// or null when no evaluated point admits the whole workload.
+	Winner *PointResult `json:"winner"`
+
+	// Frontier is the Pareto set of evaluated points in cost order:
+	// each entry is strictly cheaper than the next and admits strictly
+	// less utilization — the price/guarantee trade-off curve.
+	Frontier []PointResult `json:"frontier"`
+}
+
+// Synthesize searches the space for the minimal-cost configuration
+// that admits the whole workload under the paper's feasibility test
+// (and, when cfg.Eval.Validate is set, shows zero deadline misses in
+// the flit-level simulator).
+//
+// Points are ordered by (cost ascending, grid index ascending) — cost
+// is a pure function of the configuration, so the order needs no
+// evaluation — and scored chunk by chunk; the search stops after the
+// first chunk containing an admitting point, whose cheapest admitting
+// member is then globally minimal. Small grids (≤ ExhaustiveLimit) are
+// evaluated exhaustively so the reported frontier is complete.
+func Synthesize(w Workload, sp Space, cfg SynthConfig) (*SynthResult, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	cost := cfg.Cost
+	if cost == (CostModel{}) {
+		cost = DefaultCostModel()
+	}
+	if err := cost.validate(); err != nil {
+		return nil, err
+	}
+	points, err := sp.Enumerate(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := orderByCost(points, sp, cost)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SynthResult{
+		Workload: w.Name, Demands: len(w.Demands), TotalUtil: w.TotalUtil(),
+		Seed: cfg.Seed, Space: sp, Cost: cost,
+		GridPoints: len(points),
+		Exhaustive: len(points) <= cfg.exhaustiveLimit(),
+	}
+
+	var evaluated []PointResult
+	if res.Exhaustive {
+		evaluated, err = evaluateAll(w, sp, ordered, cost, cfg.Eval, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		chunk := cfg.chunkSize()
+		for start := 0; start < len(ordered); start += chunk {
+			end := start + chunk
+			if end > len(ordered) {
+				end = len(ordered)
+			}
+			part, err := evaluateAll(w, sp, ordered[start:end], cost, cfg.Eval, cfg.Seed, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			evaluated = append(evaluated, part...)
+			if admitsAny(part) {
+				break
+			}
+		}
+	}
+	res.Evaluated = len(evaluated)
+
+	// evaluated is in (cost, index) order, so the first admitting
+	// point is the winner.
+	for i := range evaluated {
+		if evaluated[i].Admitting {
+			win := evaluated[i]
+			res.Winner = &win
+			break
+		}
+	}
+	res.Frontier = frontier(evaluated)
+	return res, nil
+}
+
+// orderByCost sorts points by (cost ascending, grid index ascending).
+// Cost depends only on the topology's size and the point's VC count
+// and buffer depth, so each topology is parsed once.
+func orderByCost(points []Point, sp Space, cost CostModel) ([]Point, error) {
+	type dims struct{ nodes, links int }
+	sizes := make(map[string]dims, len(sp.Topologies))
+	for _, name := range sp.Topologies {
+		topo, err := topology.Parse(name)
+		if err != nil {
+			return nil, err
+		}
+		sizes[name] = dims{nodes: topo.Nodes(), links: len(topology.Channels(topo))}
+	}
+	ordered := make([]Point, len(points))
+	copy(ordered, points)
+	costOf := func(p Point) int64 {
+		d := sizes[p.Topology]
+		return cost.Cost(d.nodes, d.links, p.VCs, p.Buffer)
+	}
+	sort.SliceStable(ordered, func(a, b int) bool {
+		ca, cb := costOf(ordered[a]), costOf(ordered[b])
+		if ca != cb {
+			return ca < cb
+		}
+		return ordered[a].Index < ordered[b].Index
+	})
+	return ordered, nil
+}
+
+func admitsAny(results []PointResult) bool {
+	for i := range results {
+		if results[i].Admitting {
+			return true
+		}
+	}
+	return false
+}
+
+// frontier extracts the Pareto set over (cost, admitted utilization):
+// walk the evaluated points in (cost, index) order and keep each point
+// that admits strictly more utilization than everything cheaper.
+func frontier(evaluated []PointResult) []PointResult {
+	sorted := make([]PointResult, len(evaluated))
+	copy(sorted, evaluated)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].Cost != sorted[b].Cost {
+			return sorted[a].Cost < sorted[b].Cost
+		}
+		return sorted[a].Index < sorted[b].Index
+	})
+	var front []PointResult
+	best := -1.0
+	for i := range sorted {
+		if sorted[i].AdmittedUtil > best {
+			front = append(front, sorted[i])
+			best = sorted[i].AdmittedUtil
+		}
+	}
+	return front
+}
+
+// JSON renders the result with stable indentation and a trailing
+// newline, byte-identical for every worker count.
+func (r *SynthResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

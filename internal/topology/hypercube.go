@@ -43,44 +43,3 @@ func (h *Hypercube) HasEdge(a, b NodeID) bool {
 }
 
 var _ Topology = (*Hypercube)(nil)
-
-// Ring is a unidirectional-pair ring of N nodes: node i is connected to
-// (i-1) mod N and (i+1) mod N.
-type Ring struct {
-	N int
-}
-
-// NewRing returns an N-node ring. It panics for N < 3.
-func NewRing(n int) *Ring {
-	if n < 3 {
-		panic(fmt.Sprintf("topology: invalid ring size %d", n))
-	}
-	return &Ring{N: n}
-}
-
-// Name implements Topology.
-func (r *Ring) Name() string { return fmt.Sprintf("ring-%d", r.N) }
-
-// Nodes implements Topology.
-func (r *Ring) Nodes() int { return r.N }
-
-// Neighbors implements Topology. Order: predecessor, successor.
-func (r *Ring) Neighbors(n NodeID) []NodeID {
-	prev := NodeID((int(n) - 1 + r.N) % r.N)
-	next := NodeID((int(n) + 1) % r.N)
-	if prev == next {
-		return []NodeID{prev}
-	}
-	return []NodeID{prev, next}
-}
-
-// HasEdge implements Topology.
-func (r *Ring) HasEdge(a, b NodeID) bool {
-	if a < 0 || b < 0 || int(a) >= r.N || int(b) >= r.N || a == b {
-		return false
-	}
-	d := (int(b) - int(a) + r.N) % r.N
-	return d == 1 || d == r.N-1
-}
-
-var _ Topology = (*Ring)(nil)

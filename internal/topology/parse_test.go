@@ -1,0 +1,52 @@
+package topology
+
+import "testing"
+
+func TestParseRoundTripsNames(t *testing.T) {
+	for _, topo := range []Topology{
+		NewMesh2D(10, 10), NewMesh2D(4, 1), NewTorus2D(4, 8),
+		NewHypercube(5), NewRing(16),
+	} {
+		got, err := Parse(topo.Name())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", topo.Name(), err)
+		}
+		if got.Name() != topo.Name() || got.Nodes() != topo.Nodes() {
+			t.Fatalf("Parse(%q) = %s with %d nodes", topo.Name(), got.Name(), got.Nodes())
+		}
+	}
+}
+
+func TestParseRejectsMalformedNames(t *testing.T) {
+	for _, name := range []string{
+		"", "mesh2d", "mesh2d-10", "mesh2d-0x5", "mesh2d-axb",
+		"torus2d-1x4", "hypercube-0", "hypercube-21", "hypercube-x",
+		"ring-2", "ring-abc", "bus-4", "custom-3",
+	} {
+		if _, err := Parse(name); err == nil {
+			t.Fatalf("Parse(%q) accepted", name)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	topos, err := ParseList("mesh2d-4x4, ring-8,hypercube-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mesh2d-4x4", "ring-8", "hypercube-3"}
+	if len(topos) != len(want) {
+		t.Fatalf("got %d topologies, want %d", len(topos), len(want))
+	}
+	for i, w := range want {
+		if topos[i].Name() != w {
+			t.Fatalf("topos[%d] = %s, want %s", i, topos[i].Name(), w)
+		}
+	}
+	if _, err := ParseList("ring-8,ring-8"); err == nil {
+		t.Fatal("ParseList accepted a duplicate")
+	}
+	if _, err := ParseList(" , "); err == nil {
+		t.Fatal("ParseList accepted an empty list")
+	}
+}

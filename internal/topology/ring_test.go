@@ -1,0 +1,96 @@
+package topology
+
+import "testing"
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Nodes(); got != 8 {
+		t.Fatalf("Nodes() = %d, want 8", got)
+	}
+	if got := r.Name(); got != "ring-8" {
+		t.Fatalf("Name() = %q", got)
+	}
+}
+
+func TestRingNeighborOrder(t *testing.T) {
+	r := NewRing(6)
+	// Order: predecessor, successor — including across the wrap.
+	cases := []struct {
+		n          NodeID
+		prev, next NodeID
+	}{
+		{0, 5, 1},
+		{3, 2, 4},
+		{5, 4, 0},
+	}
+	for _, c := range cases {
+		nbs := r.Neighbors(c.n)
+		if len(nbs) != 2 || nbs[0] != c.prev || nbs[1] != c.next {
+			t.Fatalf("Neighbors(%d) = %v, want [%d %d]", c.n, nbs, c.prev, c.next)
+		}
+	}
+}
+
+func TestRingDegreeIsTwo(t *testing.T) {
+	for _, n := range []int{3, 4, 7, 16} {
+		r := NewRing(n)
+		for v := 0; v < r.Nodes(); v++ {
+			if got := len(r.Neighbors(NodeID(v))); got != 2 {
+				t.Fatalf("ring-%d node %d has %d neighbours, want 2", n, v, got)
+			}
+		}
+	}
+}
+
+func TestRingEdgeSymmetry(t *testing.T) {
+	r := NewRing(9)
+	for a := 0; a < r.Nodes(); a++ {
+		for b := 0; b < r.Nodes(); b++ {
+			if r.HasEdge(NodeID(a), NodeID(b)) != r.HasEdge(NodeID(b), NodeID(a)) {
+				t.Fatalf("asymmetric edge between %d and %d", a, b)
+			}
+		}
+	}
+}
+
+func TestRingWrapEdges(t *testing.T) {
+	r := NewRing(5)
+	if !r.HasEdge(0, 4) || !r.HasEdge(4, 0) {
+		t.Fatal("missing wrap edges between 0 and 4")
+	}
+	if r.HasEdge(0, 2) || r.HasEdge(1, 3) {
+		t.Fatal("chord edge present on a ring")
+	}
+}
+
+func TestRingNoSelfLoops(t *testing.T) {
+	r := NewRing(4)
+	for n := 0; n < r.Nodes(); n++ {
+		if r.HasEdge(NodeID(n), NodeID(n)) {
+			t.Fatalf("self loop at %d", n)
+		}
+	}
+}
+
+func TestRingChannelCount(t *testing.T) {
+	// A bidirectional N-ring has exactly 2N directed channels.
+	for _, n := range []int{3, 6, 11} {
+		r := NewRing(n)
+		if got := len(Channels(r)); got != 2*n {
+			t.Fatalf("ring-%d has %d directed channels, want %d", n, got, 2*n)
+		}
+	}
+}
+
+func TestRingPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewRing(%d) did not panic", n)
+				}
+			}()
+			NewRing(n)
+		}()
+	}
+}

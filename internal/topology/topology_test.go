@@ -125,20 +125,7 @@ func TestHypercubeBasics(t *testing.T) {
 	}
 }
 
-func TestRingBasics(t *testing.T) {
-	r := NewRing(6)
-	if r.Nodes() != 6 {
-		t.Fatalf("Nodes() = %d", r.Nodes())
-	}
-	if !r.HasEdge(0, 5) || !r.HasEdge(5, 0) || !r.HasEdge(2, 3) || r.HasEdge(0, 2) {
-		t.Fatal("ring adjacency wrong")
-	}
-	for n := 0; n < r.Nodes(); n++ {
-		if got := len(r.Neighbors(NodeID(n))); got != 2 {
-			t.Fatalf("node %d degree %d, want 2", n, got)
-		}
-	}
-}
+// Ring-specific coverage lives in ring_test.go alongside ring.go.
 
 func TestChannelsEnumeration(t *testing.T) {
 	m := NewMesh2D(3, 2)

@@ -213,6 +213,126 @@ func GanttSVG(title string, rows []GanttRow, from, to int) string {
 	return b.String()
 }
 
+// ScatterPoint is one sample of a scatter plot. Highlighted points are
+// drawn filled and larger (e.g. the synthesis winner); Line points are
+// additionally connected by a step polyline in input order (e.g. a
+// Pareto frontier).
+type ScatterPoint struct {
+	X, Y      float64
+	Highlight bool
+	Line      bool
+}
+
+// ScatterSVG renders an X-Y scatter with linear axes sized to the data
+// range. Output is a pure function of the inputs (fixed canvas, fixed
+// tick count, fixed decimal formatting) so plots can be pinned by
+// golden tests.
+func ScatterSVG(title, xLabel, yLabel string, pts []ScatterPoint) string {
+	const (
+		plotW  = 460.0
+		plotH  = 280.0
+		plotX  = 70.0
+		plotY  = 40.0
+		nTicks = 5
+	)
+	width := int(plotX + plotW + 30)
+	height := int(plotY + plotH + 60)
+
+	minX, maxX, minY, maxY := dataRange(pts)
+	sx := func(x float64) float64 { return plotX + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return plotY + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%.0f" y="20" font-size="13">%s</text>`+"\n", plotX, escape(title))
+	fmt.Fprintf(&b, `<rect x="%.0f" y="%.0f" width="%.0f" height="%.0f" fill="none" stroke="#718096"/>`+"\n", plotX, plotY, plotW, plotH)
+
+	// Axis ticks and grid lines.
+	for i := 0; i <= nTicks; i++ {
+		fx := minX + (maxX-minX)*float64(i)/nTicks
+		fy := minY + (maxY-minY)*float64(i)/nTicks
+		tx, ty := sx(fx), sy(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.0f" x2="%.1f" y2="%.0f" stroke="#e2e8f0"/>`+"\n", tx, plotY, tx, plotY+plotH)
+		fmt.Fprintf(&b, `<line x1="%.0f" y1="%.1f" x2="%.0f" y2="%.1f" stroke="#e2e8f0"/>`+"\n", plotX, ty, plotX+plotW, ty)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.0f" text-anchor="middle" fill="#4a5568">%s</text>`+"\n", tx, plotY+plotH+14, tickLabel(fx))
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.1f" text-anchor="end" fill="#4a5568">%s</text>`+"\n", plotX-6, ty+4, tickLabel(fy))
+	}
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle">%s</text>`+"\n", plotX+plotW/2, plotY+plotH+34, escape(xLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.0f" text-anchor="middle" transform="rotate(-90 16 %.0f)">%s</text>`+"\n", plotY+plotH/2, plotY+plotH/2, escape(yLabel))
+
+	// Step polyline through the Line points (in input order).
+	var line []ScatterPoint
+	for _, p := range pts {
+		if p.Line {
+			line = append(line, p)
+		}
+	}
+	if len(line) > 1 {
+		var poly strings.Builder
+		for i, p := range line {
+			if i > 0 {
+				// Horizontal-then-vertical step: the cheaper
+				// configuration's guarantee holds until the next
+				// frontier point's cost.
+				fmt.Fprintf(&poly, "%.1f,%.1f ", sx(p.X), sy(line[i-1].Y))
+			}
+			fmt.Fprintf(&poly, "%.1f,%.1f ", sx(p.X), sy(p.Y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#2b6cb0" stroke-width="1.5"/>`+"\n",
+			strings.TrimRight(poly.String(), " "))
+	}
+	for _, p := range pts {
+		if p.Highlight {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="5" fill="#c53030" stroke="#742a2a"/>`+"\n", sx(p.X), sy(p.Y))
+		} else {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="none" stroke="#2b6cb0"/>`+"\n", sx(p.X), sy(p.Y))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// dataRange pads the bounding box of pts so points never sit on the
+// frame, degenerating gracefully for empty or single-value data.
+func dataRange(pts []ScatterPoint) (minX, maxX, minY, maxY float64) {
+	if len(pts) == 0 {
+		return 0, 1, 0, 1
+	}
+	minX, maxX = pts[0].X, pts[0].X
+	minY, maxY = pts[0].Y, pts[0].Y
+	for _, p := range pts[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	padX, padY := (maxX-minX)*0.05, (maxY-minY)*0.05
+	if padX <= 0 {
+		padX = 1
+	}
+	if padY <= 0 {
+		padY = 0.05
+	}
+	return minX - padX, maxX + padX, minY - padY, maxY + padY
+}
+
+// tickLabel formats an axis value compactly: integers without decimals,
+// everything else with three.
+func tickLabel(v float64) string {
+	if v >= 1000 || v <= -1000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}
+
 func escape(s string) string {
 	s = strings.ReplaceAll(s, "&", "&amp;")
 	s = strings.ReplaceAll(s, "<", "&lt;")

@@ -109,6 +109,42 @@ func TestGanttSVG(t *testing.T) {
 	wellFormed(t, GanttSVG("w", rows, 5, 5))
 }
 
+func TestScatterSVG(t *testing.T) {
+	pts := []ScatterPoint{
+		{X: 100, Y: 0.2, Line: true},
+		{X: 200, Y: 0.5, Line: true},
+		{X: 400, Y: 1.0, Line: true, Highlight: true},
+		{X: 300, Y: 0.3},
+	}
+	svg := ScatterSVG("frontier <1>", "cost", "admitted util", pts)
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<circle"); got != 4 {
+		t.Fatalf("circle count %d, want 4", got)
+	}
+	if strings.Count(svg, "<polyline") != 1 {
+		t.Fatalf("missing frontier polyline:\n%s", svg)
+	}
+	if !strings.Contains(svg, "&lt;1&gt;") {
+		t.Fatal("title not escaped")
+	}
+	// The highlighted winner is drawn filled.
+	if !strings.Contains(svg, `fill="#c53030"`) {
+		t.Fatal("highlight missing")
+	}
+	// Degenerate inputs still render.
+	wellFormed(t, ScatterSVG("empty", "x", "y", nil))
+	wellFormed(t, ScatterSVG("single", "x", "y", []ScatterPoint{{X: 1, Y: 1}}))
+}
+
+func TestScatterSVGDeterministic(t *testing.T) {
+	pts := []ScatterPoint{{X: 1, Y: 0.1, Line: true}, {X: 2, Y: 0.9, Line: true}}
+	a := ScatterSVG("t", "x", "y", pts)
+	b := ScatterSVG("t", "x", "y", pts)
+	if a != b {
+		t.Fatal("same inputs, different SVG")
+	}
+}
+
 func TestHeatColorRange(t *testing.T) {
 	if heatColor(0) != "#ffffff" {
 		t.Fatalf("0 -> %s", heatColor(0))

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// GenerateOn over the same mesh must reproduce Generate draw for draw:
+// the explorer holds the demand sequence fixed while swapping networks,
+// and that only works if the mesh case is the identity.
+func TestGenerateOnMeshMatchesGenerate(t *testing.T) {
+	cfg := PaperDefaults(20, 4, 7)
+	cfg.InflatePeriods = true
+	want, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := GenerateOn(topology.NewMesh2D(cfg.MeshW, cfg.MeshH), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("GenerateOn produced %d streams, Generate %d", got.Len(), want.Len())
+	}
+	for i := range want.Streams {
+		w, g := want.Streams[i], got.Streams[i]
+		if w.Src != g.Src || w.Dst != g.Dst || w.Priority != g.Priority ||
+			w.Period != g.Period || w.Length != g.Length || w.Deadline != g.Deadline {
+			t.Fatalf("stream %d differs: Generate %+v, GenerateOn %+v", i, *w, *g)
+		}
+	}
+}
+
+func TestGenerateOnNonMeshTopologies(t *testing.T) {
+	for _, topo := range []topology.Topology{
+		topology.NewRing(12), topology.NewHypercube(4), topology.NewTorus2D(4, 4),
+	} {
+		cfg := PaperDefaults(8, 4, 3)
+		cfg.InflatePeriods = false
+		set, a, err := GenerateOn(topo, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", topo.Name(), err)
+		}
+		if a == nil {
+			t.Fatalf("%s: nil analyzer", topo.Name())
+		}
+		if set.Len() != 8 {
+			t.Fatalf("%s: %d streams, want 8", topo.Name(), set.Len())
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("%s: %v", topo.Name(), err)
+		}
+		seen := make(map[topology.NodeID]bool)
+		for _, s := range set.Streams {
+			if seen[s.Src] {
+				t.Fatalf("%s: duplicate source %d", topo.Name(), s.Src)
+			}
+			seen[s.Src] = true
+		}
+	}
+}
+
+func TestGenerateOnDeterministic(t *testing.T) {
+	cfg := PaperDefaults(10, 4, 99)
+	cfg.InflatePeriods = true
+	a, _, err := GenerateOn(topology.NewRing(16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateOn(topology.NewRing(16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Streams {
+		x, y := a.Streams[i], b.Streams[i]
+		if x.Src != y.Src || x.Dst != y.Dst || x.Priority != y.Priority ||
+			x.Period != y.Period || x.Length != y.Length || x.Deadline != y.Deadline {
+			t.Fatalf("stream %d nondeterministic: %+v vs %+v", i, *x, *y)
+		}
+	}
+}
+
+func TestGenerateOnRejectsBadConfigs(t *testing.T) {
+	cfg := PaperDefaults(20, 4, 1)
+	if _, _, err := GenerateOn(topology.NewRing(12), cfg); err == nil {
+		t.Fatal("accepted 20 streams on 12 nodes")
+	}
+	cfg = PaperDefaults(4, 0, 1)
+	if _, _, err := GenerateOn(topology.NewRing(12), cfg); err == nil {
+		t.Fatal("accepted 0 priority levels")
+	}
+}
