@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-fix lint-sarif bench bench-json load-smoke explore-smoke reproduce quick-reproduce fuzz cover clean
+.PHONY: all build test test-race vet lint lint-fix lint-sarif bench bench-json load-smoke explore-smoke mc-smoke reproduce quick-reproduce fuzz cover clean
 
 all: build vet lint test
 
@@ -55,7 +55,7 @@ bench:
 # converted to JSON at the repo root (committed; see
 # docs/PERFORMANCE.md for the tracked numbers and how to compare).
 bench-json:
-	$(GO) test -run '^$$' -bench '^(BenchmarkTable[1-5]|BenchmarkCalU|BenchmarkHPSetConstruction|BenchmarkSimulator|BenchmarkAdmitIncremental|BenchmarkAdmitFull|BenchmarkDaemonLoad|BenchmarkExploreSweep)$$' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable[1-5]|BenchmarkCalU|BenchmarkHPSetConstruction|BenchmarkSimulator|BenchmarkEventSim|BenchmarkMCReplications|BenchmarkAdmitIncremental|BenchmarkAdmitFull|BenchmarkDaemonLoad|BenchmarkExploreSweep)$$' \
 		-benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_core.json
 
 # Short deterministic load run against a hermetic in-process daemon:
@@ -64,6 +64,14 @@ bench-json:
 load-smoke:
 	$(GO) run ./cmd/rtwormload -ops 300 -rate 1000 -seed 1 -clients 6 \
 		-chaos -chaos-down 20ms -slo-errors 0 -slo-shed 0 -check -o /dev/null
+
+# Small deterministic Monte-Carlo study on the fast event engine with
+# -check cross-checking every replication against the cycle-accurate
+# oracle. See docs/FASTSIM.md.
+mc-smoke:
+	$(GO) run ./cmd/rtwmc -topology mesh2d-10x10 -streams 12 -plevels 4 \
+		-seeds 4 -configs preemptive:2,li:2 -cycles 5000 -warmup 100 \
+		-engine event -check
 
 # Tiny deterministic design-space smoke: sweep then synthesise an
 # 8-point grid with simulator cross-validation. -check fails the target

@@ -6,8 +6,10 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/eventsim"
 	"repro/internal/exp"
 	"repro/internal/explore"
+	"repro/internal/mc"
 	"repro/internal/place"
 	"repro/internal/routing"
 	"repro/internal/sched"
@@ -479,6 +481,49 @@ func BenchmarkSimulator(b *testing.B) {
 		s.Run()
 	}
 	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkEventSim is BenchmarkSimulator on the event-driven engine:
+// same workload, same horizon, same metric, so the cycles/s ratio
+// between the two entries in BENCH_core.json is the engine speedup.
+// The differential battery in internal/eventsim pins the two engines'
+// results byte-identical on this exact workload.
+func BenchmarkEventSim(b *testing.B) {
+	set, _, err := workload.Generate(workload.PaperDefaults(20, 4, 555))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cycles = 30000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := eventsim.New(set, sim.Config{Cycles: cycles, Warmup: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+	}
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkMCReplications measures Monte-Carlo study throughput: 8
+// replications of the §5 pool shape fanned over the worker pool with
+// the event engine, reported as replications per second.
+func BenchmarkMCReplications(b *testing.B) {
+	cfg := mc.Config{
+		Seeds:    8,
+		BaseSeed: 555,
+		Engine:   mc.EngineEvent,
+		Points: []mc.PointConfig{
+			{Topology: "mesh2d-10x10", Streams: 20, PLevels: 4, Arbiter: sim.Preemptive, Cycles: 30000, Warmup: 200},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Seeds)*float64(b.N)/b.Elapsed().Seconds(), "replications/s")
 }
 
 func benchName(prefix string, v int) string {

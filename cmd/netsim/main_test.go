@@ -50,6 +50,17 @@ func TestRunTopologyMode(t *testing.T) {
 	}
 }
 
+func TestRunEngineFlag(t *testing.T) {
+	opts := simOptions{topology: "ring-12", streams: 8, plevels: 4, genseed: 1, engine: "event"}
+	if err := run(1500, 100, "preemptive", 2, false, false, false, true, opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	opts.engine = "warp"
+	if err := run(1500, 100, "preemptive", 2, false, false, false, false, opts, nil); err == nil {
+		t.Error("accepted unknown engine")
+	}
+}
+
 func TestRunTopologyModeErrors(t *testing.T) {
 	opts := simOptions{topology: "bus-4", streams: 8, plevels: 4, genseed: 1}
 	if err := run(1000, 100, "preemptive", 2, false, false, false, false, opts, nil); err == nil {

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/explore"
+	"repro/internal/mc"
 	"repro/internal/stream"
 )
 
@@ -74,6 +75,7 @@ type common struct {
 
 	validate bool
 	cycles   int
+	engine   string
 
 	costNode, costVC, costBuf int
 
@@ -99,6 +101,7 @@ func addCommon(fs *flag.FlagSet) *common {
 
 	fs.BoolVar(&c.validate, "validate", false, "cross-validate fully-admitting points in the flit-level simulator")
 	fs.IntVar(&c.cycles, "cycles", 0, "simulated flit times per validation run (0 = 5000)")
+	fs.StringVar(&c.engine, "engine", mc.EngineCycle, "validation engine: cycle (oracle) or event (fast)")
 
 	fs.IntVar(&c.costNode, "cost-node", 0, "cost-model weight per node (0 = default 4)")
 	fs.IntVar(&c.costVC, "cost-vc", 0, "cost-model weight per link VC (0 = default 2)")
@@ -172,8 +175,13 @@ func (c *common) cost() explore.CostModel {
 	return m
 }
 
-func (c *common) eval() explore.EvalConfig {
-	return explore.EvalConfig{Validate: c.validate, ValidateCycles: c.cycles}
+func (c *common) eval() (explore.EvalConfig, error) {
+	switch c.engine {
+	case "", mc.EngineCycle, mc.EngineEvent:
+	default:
+		return explore.EvalConfig{}, fmt.Errorf("-engine: unknown engine %q (want %q or %q)", c.engine, mc.EngineCycle, mc.EngineEvent)
+	}
+	return explore.EvalConfig{Validate: c.validate, ValidateCycles: c.cycles, Engine: c.engine}, nil
 }
 
 // emit writes one rendered artifact to its destination ('-' = out).
@@ -235,8 +243,12 @@ func runSweep(argv []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	eval, err := c.eval()
+	if err != nil {
+		return err
+	}
 	res, err := explore.Sweep(w, sp, explore.SweepConfig{
-		Seed: c.seed, Workers: c.workers, Cost: c.cost(), Eval: c.eval(),
+		Seed: c.seed, Workers: c.workers, Cost: c.cost(), Eval: eval,
 	})
 	if err != nil {
 		return err
@@ -302,8 +314,12 @@ func runSynth(argv []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	eval, err := c.eval()
+	if err != nil {
+		return err
+	}
 	res, err := explore.Synthesize(w, sp, explore.SynthConfig{
-		Seed: c.seed, Workers: c.workers, Cost: c.cost(), Eval: c.eval(),
+		Seed: c.seed, Workers: c.workers, Cost: c.cost(), Eval: eval,
 		ExhaustiveLimit: *exhaustive, ChunkSize: *chunk,
 	})
 	if err != nil {

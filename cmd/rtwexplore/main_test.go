@@ -64,6 +64,23 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSweepEngineFlag runs the validated tiny sweep under -engine
+// cycle and -engine event and requires byte-identical JSON.
+func TestSweepEngineFlag(t *testing.T) {
+	var runs [][]byte
+	for _, engine := range []string{"cycle", "event"} {
+		var out bytes.Buffer
+		args := append([]string{"sweep", "-json", "-", "-validate", "-cycles", "2000", "-engine", engine}, tiny...)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		runs = append(runs, out.Bytes())
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatal("-engine event JSON differs from -engine cycle")
+	}
+}
+
 func TestSweepFileOutputs(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "sweep.json")
@@ -189,6 +206,8 @@ func TestBadInvocations(t *testing.T) {
 		{"sweep", "-vcs", "two"},
 		{"sweep", "-topos", "klein-bottle-4"},
 		{"sweep", "-workload", filepath.Join(t.TempDir(), "absent.json")},
+		{"sweep", "-validate", "-engine", "warp"},
+		{"synth", "-validate", "-engine", "warp"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

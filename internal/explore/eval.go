@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/admit"
+	"repro/internal/mc"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -23,6 +24,11 @@ type EvalConfig struct {
 	// (default 5000 flit times, warmup 0 so the critical-instant
 	// releases are counted).
 	ValidateCycles int
+	// Engine selects the validation simulator: "" or mc.EngineCycle
+	// for the cycle-accurate oracle, mc.EngineEvent for the fast
+	// event-driven engine (byte-identical stats, pinned by the
+	// eventsim differential battery).
+	Engine string
 }
 
 func (c EvalConfig) cycles() int {
@@ -50,6 +56,10 @@ type PointResult struct {
 	Validated    bool `json:"validated"` // a simulator run backs this point
 	SimDelivered int  `json:"simDelivered,omitempty"`
 	SimMisses    int  `json:"simMisses,omitempty"`
+	// ValidateError records a failed validation run. The sweep keeps
+	// going: the point is reported non-admitting with the error
+	// attached instead of aborting the whole study.
+	ValidateError string `json:"validateError,omitempty"`
 
 	Admitting bool `json:"admitting"`
 }
@@ -119,9 +129,11 @@ func Evaluate(w Workload, p Point, cost CostModel, cfg EvalConfig, placementSeed
 	res.Admitting = res.FullyAdmitted
 
 	if cfg.Validate && res.FullyAdmitted {
-		misses, delivered, err := simValidate(topo, router, admitted, p.Buffer, cfg.cycles())
+		misses, delivered, err := simValidate(topo, router, admitted, p.Buffer, cfg.cycles(), cfg.Engine)
 		if err != nil {
-			return res, fmt.Errorf("explore: point %d validate: %w", p.Index, err)
+			res.ValidateError = err.Error()
+			res.Admitting = false
+			return res, nil
 		}
 		res.Validated = true
 		res.SimMisses = misses
@@ -182,24 +194,27 @@ func assignPriorities(specs []admit.Spec, policy string, vcs int) error {
 	return nil
 }
 
+// runEngine is swappable so tests can inject a failing engine and
+// prove a validation error stays in the point result.
+var runEngine = mc.RunEngine
+
 // simValidate replays the admitted set through the flit-level
 // simulator at the point's buffer depth and returns (deadline misses,
 // deliveries). All streams release at cycle 0 — the critical instant
 // of the analysis — and warmup is 0 so every delivery counts.
-func simValidate(topo topology.Topology, router routing.Router, specs []admit.Spec, buffer, cycles int) (int, int, error) {
+func simValidate(topo topology.Topology, router routing.Router, specs []admit.Spec, buffer, cycles int, engine string) (int, int, error) {
 	set := stream.NewSet(topo)
 	for _, sp := range specs {
 		if _, err := set.Add(router, sp.Src, sp.Dst, sp.Priority, sp.Period, sp.Length, sp.Deadline); err != nil {
 			return 0, 0, err
 		}
 	}
-	s, err := sim.New(set, sim.Config{
+	res, err := runEngine(engine, set, sim.Config{
 		Cycles: cycles, Warmup: 0,
 		Arbiter: sim.Preemptive, BufferDepth: buffer,
 	})
 	if err != nil {
 		return 0, 0, err
 	}
-	res := s.Run()
 	return res.TotalMisses(), res.TotalDelivered(), nil
 }

@@ -15,7 +15,7 @@ var csvHeader = []string{
 	"index", "topology", "routing", "vcs", "buffer", "policy",
 	"nodes", "links", "cost",
 	"total", "admitted", "admittedUtil", "totalUtil",
-	"fullyAdmitted", "validated", "simDelivered", "simMisses", "admitting",
+	"fullyAdmitted", "validated", "simDelivered", "simMisses", "validateError", "admitting",
 }
 
 func csvRow(p *PointResult) []string {
@@ -29,6 +29,7 @@ func csvRow(p *PointResult) []string {
 		strconv.FormatFloat(p.TotalUtil, 'g', -1, 64),
 		strconv.FormatBool(p.FullyAdmitted), strconv.FormatBool(p.Validated),
 		strconv.Itoa(p.SimDelivered), strconv.Itoa(p.SimMisses),
+		p.ValidateError,
 		strconv.FormatBool(p.Admitting),
 	}
 }

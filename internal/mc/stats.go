@@ -1,0 +1,87 @@
+package mc
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist summarises one metric's distribution over a point's
+// replications: sample mean and standard deviation, the half-width of
+// the normal-approximation 95% confidence interval for the mean
+// (1.96·s/√n), and the empirical quantiles.
+type Dist struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`  // sample standard deviation (n-1)
+	CI95 float64 `json:"ci95"` // ± half-width of the 95% CI for the mean
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// distOf computes a Dist over the values in order-independent fashion
+// (the input is sorted internally; callers pass replication-ordered
+// slices).
+func distOf(vals []float64) Dist {
+	n := len(vals)
+	if n == 0 {
+		return Dist{}
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var sq float64
+	for _, v := range vals {
+		d := v - mean
+		sq += d * d
+	}
+	var std float64
+	if n > 1 {
+		std = math.Sqrt(sq / float64(n-1))
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	return Dist{
+		Mean: mean,
+		Std:  std,
+		CI95: 1.96 * std / math.Sqrt(float64(n)),
+		P50:  quantile(sorted, 0.50),
+		P95:  quantile(sorted, 0.95),
+		Min:  sorted[0],
+		Max:  sorted[n-1],
+	}
+}
+
+// quantile returns the nearest-rank q-quantile of an ascending slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// summarize aggregates one point's replications (in replication order).
+func summarize(p PointConfig, reps []Replication) PointSummary {
+	s := PointSummary{PointConfig: p, ArbiterName: p.Arbiter.String(), Reps: len(reps)}
+	pick := func(f func(Replication) float64) Dist {
+		vals := make([]float64, len(reps))
+		for i, r := range reps {
+			vals[i] = f(r)
+		}
+		return distOf(vals)
+	}
+	s.MissRatio = pick(func(r Replication) float64 { return r.MissRatio })
+	s.MeanLatency = pick(func(r Replication) float64 { return r.MeanLatency })
+	s.P95Latency = pick(func(r Replication) float64 { return float64(r.P95Latency) })
+	s.MaxLatency = pick(func(r Replication) float64 { return float64(r.MaxLatency) })
+	return s
+}
