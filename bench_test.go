@@ -9,6 +9,9 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/exp"
 	"repro/internal/explore"
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
 	"repro/internal/mc"
 	"repro/internal/place"
 	"repro/internal/routing"
@@ -646,4 +649,34 @@ func benchExploreSweep(b *testing.B, validate bool) {
 func BenchmarkExploreSweep(b *testing.B) {
 	b.Run("analysis", func(b *testing.B) { benchExploreSweep(b, false) })
 	b.Run("validated", func(b *testing.B) { benchExploreSweep(b, true) })
+}
+
+// ----- rtwlint ---------------------------------------------------------
+
+// BenchmarkLintRepo times one full rtwlint pass — all four tiers,
+// including the value-range analyzers — over every package of the
+// module. Loading and type-checking happen once outside the loop; each
+// iteration rebuilds the module context (call graph, summaries,
+// interval fixpoints) from scratch, which is what a cold CI run pays.
+func BenchmarkLintRepo(b *testing.B) {
+	pkgs, err := loader.Load("", "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := lint.Analyzers()
+	b.ResetTimer()
+	findings := 0
+	for i := 0; i < b.N; i++ {
+		mod := analysis.NewModule(pkgs)
+		findings = 0
+		for _, pkg := range pkgs {
+			diags, err := analysis.RunInModule(pkg, mod, analyzers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			findings += len(diags)
+		}
+	}
+	b.ReportMetric(float64(findings), "findings")
+	b.ReportMetric(float64(len(pkgs)), "packages")
 }

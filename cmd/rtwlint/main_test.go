@@ -394,3 +394,63 @@ func stale(a, b int) bool {
 			code, out.String(), errb.String())
 	}
 }
+
+// TestFixIdempotent: applying -fix twice is a fixed point — the second
+// run finds nothing fixable, applies zero edits, and leaves every file
+// byte-identical to the first run's output. A fix whose replacement
+// re-triggers its own (or another) analyzer would oscillate here.
+func TestFixIdempotent(t *testing.T) {
+	chdirRepoRoot(t)
+	seedModule(t, map[string]string{
+		"a.go": `package seeded
+
+func staleA(a, b int) bool {
+	//rtwlint:ignore floateq integers cannot trip floateq
+	return a == b
+}
+`,
+		"b.go": `package seeded
+
+func staleB(x int) int {
+	//rtwlint:ignore intoverflow -- obsolete: the multiply below was removed
+	return x
+}
+`,
+	})
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "directive,floateq,intoverflow", "-fix", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("first -fix: exit %d, want 0\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "applied 2 fix(es) across 2 file(s)") {
+		t.Fatalf("first -fix should apply both stale-directive deletes:\n%s", errb.String())
+	}
+	after1 := map[string][]byte{}
+	for _, name := range []string{"a.go", "b.go"} {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after1[name] = data
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-only", "directive,floateq,intoverflow", "-fix", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("second -fix: exit %d, want 0 (clean)\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	if strings.Contains(errb.String(), "applied") {
+		t.Errorf("second -fix applied edits on an already-fixed tree:\n%s", errb.String())
+	}
+	for name, want := range after1 {
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s changed on the second -fix pass:\n--- after first\n%s\n--- after second\n%s",
+				name, want, got)
+		}
+	}
+}

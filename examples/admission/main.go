@@ -24,6 +24,15 @@ import (
 // job builds a named task graph: a pipeline plus a control backchannel
 // from the last stage to the first.
 func job(name string, stages, prio, period, length, deadline int) jobs.Job {
+	// The demo builds jobs from literal periods; the clamp documents
+	// the valid range and keeps the wrap-around demand's period*2
+	// provably inside int64.
+	if period < 1 {
+		period = 1
+	}
+	if period > 1<<20 {
+		period = 1 << 20
+	}
 	j := jobs.Job{Name: name, Graph: place.Problem{Tasks: stages}}
 	for i := 0; i < stages-1; i++ {
 		j.Graph.Demands = append(j.Graph.Demands, place.Demand{

@@ -88,7 +88,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	interf, err := analyzer.Interference(0, 4*set.Get(0).Deadline)
+	window := set.Get(0).Deadline
+	if window < 1 {
+		window = 1
+	}
+	if window > core.MaxSearchHorizon {
+		window = core.MaxSearchHorizon
+	}
+	interf, err := analyzer.Interference(0, 4*window)
 	if err != nil {
 		log.Fatal(err)
 	}

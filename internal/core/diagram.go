@@ -376,6 +376,7 @@ func (d *Diagram) Grow(newHorizon int) error {
 		}
 		d.demand[r] = dem
 		kb := oldWin - 1
+		//rtwlint:ignore intoverflow -- kb = ceil(oldH/Period)-1, so kb*Period < oldH <= MaxSearchHorizon; the window-count bound is a division invariant the intraprocedural interval domain cannot relate
 		if start := kb * e.Period; start+e.Period > oldH {
 			// Resume the truncated window: it placed dem[kb] of the
 			// element's Length slots before the old horizon cut it off.
@@ -391,6 +392,7 @@ func (d *Diagram) Grow(newHorizon int) error {
 			}
 		}
 		for k := kb + 1; k < newWin; k++ {
+			//rtwlint:ignore intoverflow -- k < newWin = ceil(newHorizon/Period), so k*Period < newHorizon <= MaxSearchHorizon; same division invariant as above
 			start := k * e.Period
 			end, trunc := start+e.Period, false
 			if end > newHorizon {

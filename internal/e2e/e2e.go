@@ -83,6 +83,7 @@ func (sys *System) TaskResponseTime(idx int) (int, error) {
 	for iter := 0; iter < 1<<16; iter++ {
 		next := t.WCET
 		for _, o := range hp {
+			//rtwlint:ignore intoverflow -- standard RTA ceiling term: r <= maxResponseHorizon (1<<20) is enforced before every reuse below, WCET/Period >= 1 are validated at entry, so the product is <= maxResponseHorizon * WCET of a feasible task; bounding slice-element fields is outside the interval domain
 			next += ((r + o.Period - 1) / o.Period) * o.WCET
 		}
 		if next == r {

@@ -39,5 +39,6 @@ func (c CostModel) validate() error {
 func (c CostModel) Cost(nodes, links, vcs, depth int) int64 {
 	return int64(c.PerNode)*int64(nodes) +
 		int64(c.PerVC)*int64(links)*int64(vcs) +
+		//rtwlint:ignore intoverflow -- cost model over design-space coordinates: links/vcs/depth are explorer grid dimensions (at most thousands) and the flit weight is a single-digit default validated non-negative; the product cannot approach int64 for any representable topology
 		int64(c.PerBufferFlit)*int64(links)*int64(vcs)*int64(depth)
 }

@@ -17,6 +17,15 @@
 //   - calls through function values, built-ins, and out-of-module
 //     callees produce no edge.
 //
+// Generic functions are a known under-approximation: their decls get
+// nodes and implicitly-instantiated calls (`Clamp(v, hi)`) resolve
+// through go/types uses like any other, but an explicitly-instantiated
+// call (`Clamp[int64](v, hi)`) wraps its callee in an IndexExpr the
+// resolver does not look through, so it produces no edge. Summaries
+// built on the graph therefore miss effects behind explicit
+// instantiations; analyzers must not assume the absence of an edge
+// means the absence of a call.
+//
 // Call sites lexically inside a function literal are attributed to the
 // enclosing declared function but carry the InLit flag — a closure may
 // run on another goroutine or not at all, so effect propagation (see

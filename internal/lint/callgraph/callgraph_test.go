@@ -325,3 +325,37 @@ func Free() {}
 		t.Errorf("NodeOf(nil) != nil")
 	}
 }
+
+// TestGenericUnderApproximation pins the documented precision limit:
+// generic decls get nodes, implicitly-instantiated calls resolve, and
+// explicitly-instantiated calls (IndexExpr callee) produce no edge —
+// if the resolver ever learns to look through instantiation, this test
+// should be updated along with the package doc.
+func TestGenericUnderApproximation(t *testing.T) {
+	g := buildOver(t, map[string]map[string]string{
+		"fix/g": {"g.go": `package g
+
+func Clamp[T int | int64](v, hi T) T {
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func Implicit() { Clamp(1, 2) }
+
+func Explicit() { Clamp[int64](1, 2) }
+`},
+	})
+	if n := nodeByKey(t, g, "fix/g.Clamp"); n.Decl == nil {
+		t.Fatal("generic decl must get a node")
+	}
+	imp := nodeByKey(t, g, "fix/g.Implicit")
+	if es := edgesTo(imp, ".Clamp"); len(es) != 1 || es[0].Kind != Static {
+		t.Errorf("implicit instantiation must resolve statically, got %d edges\n%s", len(es), shape(g))
+	}
+	exp := nodeByKey(t, g, "fix/g.Explicit")
+	if es := edgesTo(exp, ".Clamp"); len(es) != 0 {
+		t.Errorf("explicit instantiation documented as unresolved, got %d edges\n%s", len(es), shape(g))
+	}
+}

@@ -45,10 +45,23 @@ func (g *CFG) Exit() *Block { return g.Blocks[1] }
 // first node and leaves to one of Succs; no successors means the path
 // ends here (a panic, an endless select, or the Exit block itself).
 type Block struct {
-	Index int
-	Kind  string // "entry", "exit", "if.then", "for.body", ... for tests and debugging
-	Nodes []ast.Node
-	Succs []*Block
+	Index  int
+	Kind   string // "entry", "exit", "if.then", "for.body", ... for tests and debugging
+	Nodes  []ast.Node
+	Succs  []*Block
+	Branch *Branch // non-nil when the block ends on a two-way condition
+}
+
+// Branch records which successor a block's final condition selects.
+// Succs alone cannot carry this: an if's cond block lists [then, else]
+// while a for head lists [done, body], so edge-sensitive analyses (the
+// interval tier's branch refinement) need the polarity spelled out.
+// Set for *ast.IfStmt conditions and *ast.ForStmt heads with a Cond;
+// switch guards and range heads stay nil (multi-way or no condition).
+type Branch struct {
+	Cond  ast.Expr
+	True  *Block // taken when Cond evaluates true
+	False *Block // taken when Cond evaluates false
 }
 
 func (b *Block) String() string {
@@ -204,11 +217,13 @@ func (b *builder) stmt(s ast.Stmt) {
 		if s.Else != nil {
 			els := b.newBlock("if.else")
 			cond.Succs = append(cond.Succs, els)
+			cond.Branch = &Branch{Cond: s.Cond, True: then, False: els}
 			b.cur = els
 			b.stmt(s.Else)
 			b.jump(done)
 		} else {
 			cond.Succs = append(cond.Succs, done)
+			cond.Branch = &Branch{Cond: s.Cond, True: then, False: done}
 		}
 		b.cur = done
 
@@ -230,6 +245,7 @@ func (b *builder) stmt(s ast.Stmt) {
 		if s.Cond != nil {
 			b.add(s.Cond)
 			b.jump(done)
+			head.Branch = &Branch{Cond: s.Cond, True: body, False: done}
 		}
 		b.jump(body)
 		b.labelNext = label

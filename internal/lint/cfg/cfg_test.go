@@ -427,6 +427,103 @@ func TestFallthroughChain(t *testing.T) {
 	}
 }
 
+// TestBranchMetadata: two-way conditions record which successor is the
+// true edge — Succs order alone cannot say (if lists [then, else], for
+// heads [done, body]).
+func TestBranchMetadata(t *testing.T) {
+	t.Run("if-else", func(t *testing.T) {
+		g := build(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+		then, els := one(t, g, "if.then"), one(t, g, "if.else")
+		br := g.Entry().Branch
+		if br == nil {
+			t.Fatalf("cond block has no Branch:\n%s", dump(g))
+		}
+		if br.True != then || br.False != els {
+			t.Errorf("Branch = true:%d false:%d, want true:%d false:%d", br.True.Index, br.False.Index, then.Index, els.Index)
+		}
+		if br.Cond == nil {
+			t.Error("Branch.Cond is nil")
+		}
+	})
+	t.Run("if-no-else", func(t *testing.T) {
+		g := build(t, "x := 1\nif x > 0 {\n x = 2\n}\n_ = x")
+		then, done := one(t, g, "if.then"), one(t, g, "if.done")
+		br := g.Entry().Branch
+		if br == nil || br.True != then || br.False != done {
+			t.Errorf("if without else must branch true:then false:done:\n%s", dump(g))
+		}
+	})
+	t.Run("for-head", func(t *testing.T) {
+		g := build(t, "for i := 0; i < 3; i++ {\n _ = i\n}")
+		head, body, done := one(t, g, "for.head"), one(t, g, "for.body"), one(t, g, "for.done")
+		br := head.Branch
+		if br == nil {
+			t.Fatalf("for head has no Branch:\n%s", dump(g))
+		}
+		// Succs order is [done, body]; Branch must invert that.
+		if br.True != body || br.False != done {
+			t.Errorf("for head Branch = true:%d false:%d, want true:%d false:%d", br.True.Index, br.False.Index, body.Index, done.Index)
+		}
+	})
+	t.Run("condless-for", func(t *testing.T) {
+		g := build(t, "for {\n break\n}")
+		if head := one(t, g, "for.head"); head.Branch != nil {
+			t.Errorf("for without cond must have nil Branch")
+		}
+	})
+	t.Run("range-head", func(t *testing.T) {
+		g := build(t, "for _, x := range xs {\n _ = x\n}")
+		if head := one(t, g, "range.head"); head.Branch != nil {
+			t.Errorf("range head is not a boolean branch, Branch must stay nil")
+		}
+	})
+	t.Run("switch-guards", func(t *testing.T) {
+		g := build(t, "x := 1\nswitch x {\ncase 1:\n}\n_ = x")
+		for _, b := range g.Blocks {
+			if b.Branch != nil {
+				t.Errorf("switch guards are multi-way, block #%d must have nil Branch", b.Index)
+			}
+		}
+	})
+}
+
+// TestGenericFuncBody: a type-parameterized function builds a normal
+// CFG — generic decls must be neither skipped nor a panic (the interval
+// tier runs over every body FuncBodies reports).
+func TestGenericFuncBody(t *testing.T) {
+	src := `package p
+func Clamp[T int | int64](v, hi T) T {
+	if v > hi {
+		return hi
+	}
+	for v < 0 {
+		v++
+	}
+	return v
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fns := FuncBodies(f)
+	if len(fns) != 1 || fns[0].Name != "Clamp" {
+		t.Fatalf("FuncBodies must report the generic decl, got %v", fns)
+	}
+	g := New(fns[0].Body)
+	then := one(t, g, "if.then")
+	if !hasEdge(then, g.Exit()) {
+		t.Errorf("return in generic body must edge to exit:\n%s", dump(g))
+	}
+	if one(t, g, "for.head").Branch == nil {
+		t.Errorf("loop in generic body must carry Branch metadata:\n%s", dump(g))
+	}
+	if !reachable(g)[g.Exit().Index] {
+		t.Errorf("exit unreachable in generic body:\n%s", dump(g))
+	}
+}
+
 // TestDeferIsOrdinaryNode: defer statements stay in their block (the
 // analyzers give them their own meaning).
 func TestDeferIsOrdinaryNode(t *testing.T) {

@@ -37,6 +37,31 @@ type Lattice[F any] interface {
 	Equal(a, b F) bool
 }
 
+// EdgeLattice is an optional extension: a lattice that also implements
+// it gets TransferEdge applied to each predecessor's output before the
+// join, with the (from, to) blocks identifying the edge. Combined with
+// cfg.Block.Branch this is how branch conditions refine facts per edge
+// (`if x < N` narrows x's range on the true edge only). TransferEdge
+// must be monotone in out and may only refine (never invent facts a
+// path does not have), or the fixpoint's soundness is lost.
+type EdgeLattice[F any] interface {
+	Lattice[F]
+	TransferEdge(from, to *cfg.Block, out F) F
+}
+
+// WidenLattice is an optional extension for lattices of unbounded (or
+// impractically tall) height, such as intervals: when a reached block's
+// freshly joined input differs from the previous round's, the engine
+// replaces it with Widen(prev, next) before continuing. Widen must
+// over-approximate next (contain it) and guarantee that every strictly
+// ascending chain prev ⊑ Widen(prev, ·) ⊑ ... stabilizes in finitely
+// many steps — that guarantee, not the lattice height, is what makes
+// the fixpoint terminate.
+type WidenLattice[F any] interface {
+	Lattice[F]
+	Widen(prev, next F) F
+}
+
 // Result carries the stable facts, indexed by cfg block index.
 type Result[F any] struct {
 	In      []F
@@ -51,10 +76,28 @@ func Forward[F any](g *cfg.CFG, lat Lattice[F]) *Result[F] {
 	n := len(g.Blocks)
 	res := &Result[F]{In: make([]F, n), Out: make([]F, n), Reached: make([]bool, n)}
 
+	elat, hasEdge := lat.(EdgeLattice[F])
+	wlat, hasWiden := lat.(WidenLattice[F])
+
 	preds := make([][]*cfg.Block, n)
 	for _, b := range g.Blocks {
 		for _, s := range b.Succs {
 			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+
+	// Widening points: blocks with a predecessor of equal or higher
+	// index. The builder allocates a loop's head before its body, so
+	// every cycle contains such a block — widening there is enough for
+	// termination, and widening ONLY there keeps facts edge-refinement
+	// already narrowed (a guard inside the loop body) from being
+	// widened right past the guard.
+	widenAt := make([]bool, n)
+	for _, b := range g.Blocks {
+		for _, p := range preds[b.Index] {
+			if p.Index >= b.Index {
+				widenAt[b.Index] = true
+			}
 		}
 	}
 
@@ -86,18 +129,33 @@ func Forward[F any](g *cfg.CFG, lat Lattice[F]) *Result[F] {
 			if !res.Reached[p.Index] {
 				continue
 			}
+			out := res.Out[p.Index]
+			if hasEdge {
+				out = elat.TransferEdge(p, b, out)
+			}
 			if !have {
-				in = res.Out[p.Index]
+				in = out
 				have = true
 			} else {
-				in = lat.Join(in, res.Out[p.Index])
+				in = lat.Join(in, out)
 			}
 		}
 		if !have {
 			continue // not reachable (yet)
 		}
-		if res.Reached[b.Index] && lat.Equal(in, res.In[b.Index]) {
-			continue
+		if res.Reached[b.Index] {
+			if lat.Equal(in, res.In[b.Index]) {
+				continue
+			}
+			if hasWiden && widenAt[b.Index] {
+				// The input grew: widen against the previous round so
+				// ascending chains (loop counters) cut to a threshold
+				// instead of climbing one value per iteration.
+				in = wlat.Widen(res.In[b.Index], in)
+				if lat.Equal(in, res.In[b.Index]) {
+					continue
+				}
+			}
 		}
 		res.In[b.Index] = in
 		res.Reached[b.Index] = true

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/lint/cfg"
 )
@@ -170,6 +171,151 @@ _ = y`)
 	}
 	if reachedUnreachable {
 		t.Errorf("unreachable block marked reached")
+	}
+}
+
+// edgeAware extends assigned with edge transfer: crossing a branch
+// edge stamps "#true" / "#false" into the fact, so a test can check
+// which polarity the engine handed each successor.
+type edgeAware struct{ assigned }
+
+func (edgeAware) TransferEdge(from, to *cfg.Block, out fact) fact {
+	br := from.Branch
+	if br == nil {
+		return out
+	}
+	names := fromFact(out)
+	switch to {
+	case br.True:
+		names["#true"] = true
+	case br.False:
+		names["#false"] = true
+	}
+	return toFact(names)
+}
+
+// TestEdgeTransferPolarity: an EdgeLattice sees each branch edge with
+// the right polarity — the then arm gets the true-edge fact, the else
+// arm the false-edge fact, and the join kills both (must-analysis).
+func TestEdgeTransferPolarity(t *testing.T) {
+	src := "package p\nfunc f(c bool) {\nx := 1\nif c {\n\tx = 2\n} else {\n\tx = 3\n}\n_ = x\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+	res := Forward[fact](g, edgeAware{})
+	want := map[string]struct{ yes, no string }{
+		"if.then": {"#true", "#false"},
+		"if.else": {"#false", "#true"},
+	}
+	for _, b := range g.Blocks {
+		w, ok := want[b.Kind]
+		if !ok {
+			continue
+		}
+		in := fromFact(res.In[b.Index])
+		if !in[w.yes] || in[w.no] {
+			t.Errorf("%s input = %v, want %s without %s", b.Kind, in, w.yes, w.no)
+		}
+	}
+	exit := fromFact(res.In[g.Exit().Index])
+	if exit["#true"] || exit["#false"] {
+		t.Errorf("edge stamps must die at the join, exit has %v", exit)
+	}
+}
+
+// counter is a lattice of unbounded height: the fact counts transfer
+// applications (saturating), join is max. Without widening a loop would
+// climb one value per iteration and the fixpoint would never stop; the
+// engine terminates only because counter implements WidenLattice.
+type counter struct{}
+
+const counterRail = int64(1) << 60
+
+func (counter) Entry() int64 { return 0 }
+
+func (counter) Transfer(n ast.Node, in int64) int64 {
+	if _, ok := n.(*ast.AssignStmt); ok && in < counterRail {
+		return in + 1
+	}
+	return in
+}
+
+func (counter) Join(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (counter) Equal(a, b int64) bool { return a == b }
+
+func (counter) Widen(prev, next int64) int64 {
+	if next > prev {
+		return counterRail
+	}
+	return prev
+}
+
+// TestWideningTerminatesLoop: a lattice with an infinite ascending
+// chain reaches fixpoint through a loop only because the engine widens
+// a reached block's growing input.
+func TestWideningTerminatesLoop(t *testing.T) {
+	src := "package p\nfunc f(c bool) {\nx := 0\nfor c {\n\tx = x + 1\n}\n_ = x\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+	done := make(chan *Result[int64], 1)
+	go func() { done <- Forward[int64](g, counter{}) }()
+	var res *Result[int64]
+	select {
+	case res = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fixpoint did not terminate: widening not applied")
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			if res.In[b.Index] != counterRail {
+				t.Errorf("loop head input = %d, want the widening rail %d", res.In[b.Index], counterRail)
+			}
+		}
+	}
+	// Straight-line facts stay exact: widening fires only on growth at
+	// an already-reached block, and entry is visited once.
+	if got := res.Out[g.Entry().Index]; got != 1 {
+		t.Errorf("entry out = %d, want the exact count 1", got)
+	}
+}
+
+// TestGenericBodyDataflow: the fixpoint runs over a type-parameterized
+// function body without panicking and reaches its exit.
+func TestGenericBodyDataflow(t *testing.T) {
+	src := `package p
+func Clamp[T int | int64](v, hi T) T {
+	x := v
+	if x > hi {
+		x = hi
+	}
+	return x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+	res := Forward[fact](g, assigned{})
+	if !res.Reached[g.Exit().Index] {
+		t.Fatal("exit unreached in generic body")
+	}
+	if !fromFact(res.In[g.Exit().Index])["x"] {
+		t.Errorf("x assigned on every path of the generic body, missing at exit")
 	}
 }
 

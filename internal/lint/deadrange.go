@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/interval"
+)
+
+// Deadrange flags branch conditions the value-range analysis proves
+// always true or always false: the guarded arm (or the guard itself)
+// is dead code, and in this codebase a dead guard is usually a
+// misremembered invariant — `if x >= 0` after x was already clamped,
+// `if h < 1` on a horizon the caller validated, a loop bound that can
+// never trip. Each finding means either the check can go, or the
+// invariant it meant to re-establish is being enforced somewhere it
+// shouldn't be.
+//
+// Conditions the compiler already folds (both sides constant — the
+// `if MaxSearchHorizon > threshold` build-config idiom) are exempt:
+// they are compile-time switches, not range facts. So are conditions
+// reached only through an infeasible refinement (bottom env) — proving
+// things about paths that cannot execute helps nobody.
+var Deadrange = &analysis.Analyzer{
+	Name: "deadrange",
+	Doc:  "flags branch conditions provably always true or always false",
+	Run:  runDeadrange,
+}
+
+func runDeadrange(pass *analysis.Pass) error {
+	for _, fi := range intervalFuncs(pass) {
+		lat := fi.res.Lat
+		replayBlocks(fi, func(env interval.Env, b *cfg.Block, n ast.Node) {
+			if b.Branch == nil || n != ast.Node(b.Branch.Cond) {
+				return
+			}
+			cond := b.Branch.Cond
+			if tv, ok := pass.TypesInfo.Types[cond]; ok && tv.Value != nil {
+				return // compile-time constant: a config switch, not a range bug
+			}
+			always, never := lat.Prove(env, cond)
+			switch {
+			case always:
+				pass.Reportf(cond.Pos(), "condition %s is always true%s; the check is dead",
+					types.ExprString(cond), rangeEvidence(lat, env, cond))
+			case never:
+				pass.Reportf(cond.Pos(), "condition %s is always false%s; the branch is dead",
+					types.ExprString(cond), rangeEvidence(lat, env, cond))
+			}
+		})
+	}
+	return nil
+}
+
+// rangeEvidence renders the operand enclosures of a comparison for the
+// diagnostic (" (x in [0,+inf])"); non-comparison conditions get none.
+func rangeEvidence(lat *interval.EnvLattice, env interval.Env, cond ast.Expr) string {
+	cmp, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := ast.Unparen(cmp.X).(*ast.Ident); ok {
+		iv, _ := lat.Eval(env, cmp.X)
+		return " (" + id.Name + " in " + iv.String() + ")"
+	}
+	if id, ok := ast.Unparen(cmp.Y).(*ast.Ident); ok {
+		iv, _ := lat.Eval(env, cmp.Y)
+		return " (" + id.Name + " in " + iv.String() + ")"
+	}
+	return ""
+}

@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestDeadrange(t *testing.T) {
+	analysistest.Run(t, Deadrange, "testdata/src/deadrange", "repro/internal/lintfix/deadrange")
+}

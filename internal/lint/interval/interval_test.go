@@ -1,0 +1,256 @@
+package interval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUnionIntersect(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    Interval
+		union   Interval
+		inter   Interval
+		interMT bool // intersection empty
+	}{
+		{"disjoint", Of(0, 3), Of(5, 9), Of(0, 9), Empty(), true},
+		{"overlap", Of(0, 5), Of(3, 9), Of(0, 9), Of(3, 5), false},
+		{"nested", Of(0, 10), Of(3, 4), Of(0, 10), Of(3, 4), false},
+		{"empty-left", Empty(), Of(1, 2), Of(1, 2), Empty(), true},
+		{"top", Top(), Of(1, 2), Top(), Of(1, 2), false},
+		{"rails", Of(MinV, 0), Of(0, MaxV), Top(), Point(0), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Union(c.a, c.b); got != c.union {
+				t.Errorf("Union(%v,%v) = %v, want %v", c.a, c.b, got, c.union)
+			}
+			got := Intersect(c.a, c.b)
+			if got.IsEmpty() != c.interMT {
+				t.Errorf("Intersect(%v,%v) = %v, empty=%v, want empty=%v", c.a, c.b, got, got.IsEmpty(), c.interMT)
+			}
+			if !c.interMT && got != c.inter {
+				t.Errorf("Intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.inter)
+			}
+		})
+	}
+}
+
+// TestWidenThresholds: a growing bound jumps to the next threshold of
+// the domain ladder; a stable bound keeps its exact value; the rails
+// are absorbing. The ladder is the one intoverflow documents: ±1, 0,
+// the shift-width frontier 63/64, the small powers up to the iteration
+// caps (1<<16, 1<<20), ±MaxSearchHorizon (1<<21), ±MaxInt64/4, rails.
+func TestWidenThresholds(t *testing.T) {
+	horizon := int64(1 << 21)
+	quarter := int64(math.MaxInt64 / 4)
+	cases := []struct {
+		name       string
+		prev, next Interval
+		want       Interval
+	}{
+		{"stable", Of(0, 5), Of(0, 5), Of(0, 5)},
+		{"shrink-keeps-prev", Of(0, 10), Of(2, 5), Of(0, 10)},
+		{"hi-to-shift-frontier", Of(0, 1), Of(0, 2), Of(0, 63)},
+		{"hi-to-response-cap", Of(0, 1<<16), Of(0, 1<<16+1), Of(0, 1<<20)},
+		{"hi-to-horizon", Of(0, 1<<20), Of(0, 1<<20+1), Of(0, horizon)},
+		{"hi-to-quarter", Of(0, horizon), Of(0, horizon+1), Of(0, quarter)},
+		{"hi-to-rail", Of(0, quarter), Of(0, quarter+1), Of(0, MaxV)},
+		{"hi-already-at-rail", Of(0, MaxV), Of(0, MaxV), Of(0, MaxV)},
+		{"lo-to-zero", Of(1, 9), Of(0, 9), Of(0, 9)},
+		{"lo-to-neg-64", Of(-1, 0), Of(-2, 0), Of(-64, 0)},
+		{"lo-to-neg-horizon", Of(-(1 << 16), 0), Of(-(1<<16)-1, 0), Of(-horizon, 0)},
+		{"lo-to-rail", Of(-quarter, 0), Of(-quarter-1, 0), Of(MinV, 0)},
+		{"minint-endpoint", Of(MinV, 0), Of(MinV, 1), Of(MinV, 1)},
+		{"maxint-point", Point(MaxV), Point(MaxV), Point(MaxV)},
+		{"both-grow", Of(0, 0), Of(-3, 3), Of(-64, 63)},
+		{"empty-prev", Empty(), Of(1, 2), Of(1, 2)},
+		{"empty-next", Of(1, 2), Empty(), Of(1, 2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Widen(c.prev, c.next)
+			if got != c.want {
+				t.Errorf("Widen(%v, %v) = %v, want %v", c.prev, c.next, got, c.want)
+			}
+			// Soundness: the widened interval must contain next.
+			if !c.next.IsEmpty() && (got.Lo > c.next.Lo || got.Hi < c.next.Hi) {
+				t.Errorf("Widen(%v, %v) = %v does not contain next", c.prev, c.next, got)
+			}
+		})
+	}
+}
+
+// TestWidenTerminates: repeatedly widening against an ever-growing
+// input reaches the rail in at most len(thresholds) steps — the
+// finite-height guarantee the fixpoint relies on.
+func TestWidenTerminates(t *testing.T) {
+	cur := Point(0)
+	for i := 0; i < len(thresholds)+1; i++ {
+		next, _ := Add(cur, Point(1))
+		widened := Widen(cur, next)
+		if widened == cur {
+			if cur.Hi != MaxV {
+				t.Fatalf("stabilized early at %v", cur)
+			}
+			return
+		}
+		cur = widened
+	}
+	t.Fatalf("widening did not stabilize within %d steps: %v", len(thresholds)+1, cur)
+}
+
+func TestNarrow(t *testing.T) {
+	cases := []struct {
+		name                string
+		widened, recomputed Interval
+		want                Interval
+	}{
+		{"rail-hi-recovers", Of(0, MaxV), Of(0, 10), Of(0, 10)},
+		{"rail-lo-recovers", Of(MinV, 0), Of(-10, 0), Of(-10, 0)},
+		{"real-bound-stays", Of(0, 1<<21), Of(0, 10), Of(0, 1<<21)},
+		{"both-rails", Top(), Of(-5, 5), Of(-5, 5)},
+		{"recomputed-rail-no-op", Of(0, MaxV), Of(0, MaxV), Of(0, MaxV)},
+		{"empty-recomputed", Of(0, MaxV), Empty(), Of(0, MaxV)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Narrow(c.widened, c.recomputed); got != c.want {
+				t.Errorf("Narrow(%v, %v) = %v, want %v", c.widened, c.recomputed, got, c.want)
+			}
+		})
+	}
+}
+
+func TestAdd(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+		over bool
+	}{
+		{"small", Of(1, 2), Of(3, 4), Of(4, 6), false},
+		{"exact-rail", Of(0, MaxV-1), Point(1), Of(1, MaxV), false},
+		{"cross-rail", Of(0, MaxV), Point(1), Top(), true},
+		{"neg-cross", Of(MinV, 0), Point(-1), Top(), true},
+		{"top-plus-one", Top(), Point(1), Top(), true},
+		{"both-bounded", Of(0, 1<<30), Of(0, 1<<30), Of(0, 1<<31), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, over := Add(c.a, c.b)
+			if got != c.want || over != c.over {
+				t.Errorf("Add(%v,%v) = %v,%v want %v,%v", c.a, c.b, got, over, c.want, c.over)
+			}
+		})
+	}
+}
+
+func TestMul(t *testing.T) {
+	horizon := int64(1 << 21)
+	cases := []struct {
+		name string
+		a, b Interval
+		want Interval
+		over bool
+	}{
+		{"small", Of(2, 3), Of(4, 5), Of(8, 15), false},
+		{"signs", Of(-2, 3), Of(-5, 7), Of(-15, 21), false},
+		{"by-one-never-overflows", Of(0, MaxV), Point(1), Of(0, MaxV), false},
+		{"by-zero", Top(), Point(0), Point(0), false},
+		{"unbounded-by-two", Of(0, MaxV), Point(2), Top(), true},
+		{"margin-bug-shape", Of(0, MaxV), Of(1, MaxV), Top(), true},
+		{"horizon-squared", Of(0, horizon), Of(0, horizon), Of(0, horizon*horizon), false},
+		{"quarter-times-8", Of(0, math.MaxInt64/4), Of(8, 8), Top(), true},
+		{"minint-times-minus-one", Point(MinV), Point(-1), Top(), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, over := Mul(c.a, c.b)
+			if got != c.want || over != c.over {
+				t.Errorf("Mul(%v,%v) = %v,%v want %v,%v", c.a, c.b, got, over, c.want, c.over)
+			}
+		})
+	}
+}
+
+func TestDivRem(t *testing.T) {
+	if got, over := Div(Of(10, 20), Of(2, 5)); got != Of(2, 10) || over {
+		t.Errorf("Div = %v,%v", got, over)
+	}
+	if got, _ := Div(Of(-10, 10), Of(-2, -1)); got != Of(-10, 10) {
+		t.Errorf("Div neg = %v", got)
+	}
+	if got, _ := Div(Of(1, 10), Of(-1, 1)); !got.IsTop() {
+		t.Errorf("Div straddling zero = %v, want Top", got)
+	}
+	if got, over := Div(Point(MinV), Point(-1)); !got.IsTop() || !over {
+		t.Errorf("Div MinV/-1 = %v,%v want Top,true", got, over)
+	}
+	if got := Rem(Of(0, 100), Point(8)); got != Of(0, 7) {
+		t.Errorf("Rem = %v, want [0,7]", got)
+	}
+	if got := Rem(Of(-100, -1), Point(8)); got != Of(-7, 0) {
+		t.Errorf("Rem neg dividend = %v, want [-7,0]", got)
+	}
+	if got := Rem(Of(0, 3), Point(100)); got != Of(0, 3) {
+		t.Errorf("Rem small dividend = %v, want [0,3]", got)
+	}
+	if got := Rem(Of(0, 5), Of(-1, 1)); !got.IsTop() {
+		t.Errorf("Rem straddling zero = %v, want Top", got)
+	}
+}
+
+func TestShlShr(t *testing.T) {
+	if got, over := Shl(Of(0, 1), Of(0, 3)); got != Of(0, 8) || over {
+		t.Errorf("Shl = %v,%v", got, over)
+	}
+	if _, over := Shl(Point(1), Point(63)); !over {
+		t.Errorf("1<<63 must report overflow")
+	}
+	if got, over := Shl(Point(1), Point(62)); got != Point(1<<62) || over {
+		t.Errorf("1<<62 = %v,%v", got, over)
+	}
+	if _, over := Shl(Point(1), Of(0, 64)); !over {
+		t.Errorf("shift count reaching 64 must report overflow")
+	}
+	if _, over := Shl(Point(1), Of(-1, 0)); !over {
+		t.Errorf("negative shift count must report overflow")
+	}
+	if got := Shr(Of(0, 1024), Point(3)); got != Of(0, 128) {
+		t.Errorf("Shr = %v", got)
+	}
+	if got := Shr(Of(-8, 8), Point(1)); got != Of(-4, 4) {
+		t.Errorf("Shr signed = %v", got)
+	}
+}
+
+func TestNegSub(t *testing.T) {
+	if got, over := Neg(Of(-3, 5)); got != Of(-5, 3) || over {
+		t.Errorf("Neg = %v,%v", got, over)
+	}
+	if got, over := Neg(Point(MinV)); !got.IsTop() || !over {
+		t.Errorf("Neg(MinV) = %v,%v want Top,true", got, over)
+	}
+	if got, over := Sub(Of(5, 10), Of(1, 2)); got != Of(3, 9) || over {
+		t.Errorf("Sub = %v,%v", got, over)
+	}
+	if _, over := Sub(Point(0), Point(MinV)); !over {
+		t.Errorf("0 - MinV must report overflow")
+	}
+	if _, over := Sub(Of(-10, -1), Point(MinV)); over {
+		t.Errorf("negative minus MinV cannot overflow")
+	}
+}
+
+func TestTypeRange(t *testing.T) {
+	if got := TypeRange(8); got != Of(math.MinInt8, math.MaxInt8) {
+		t.Errorf("TypeRange(8) = %v", got)
+	}
+	if got := TypeRange(32); got != Of(math.MinInt32, math.MaxInt32) {
+		t.Errorf("TypeRange(32) = %v", got)
+	}
+	if !TypeRange(64).IsTop() {
+		t.Errorf("TypeRange(64) must be Top")
+	}
+}

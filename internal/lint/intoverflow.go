@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/interval"
+)
+
+// Intoverflow flags +, *, and << over cycle-typed quantities (periods,
+// deadlines, latencies, horizons, flit counts — the inputs of Cal_U)
+// whose value-range analysis cannot bound the result inside int64. The
+// paper's feasibility arithmetic multiplies periods by element counts
+// and doubles search horizons; on adversarial inputs those products
+// silently wrap and the admission test answers from garbage. The
+// interval tier (internal/lint/interval) proves most of the repo's
+// cycle arithmetic in range — the clamp idiom `if m > C/k { m = C }
+// else { m *= k }` and the doubling guard `if h > max/2 { break }` are
+// both recognized — so what remains is exactly the arithmetic with no
+// guard at all.
+//
+// Reporting rules, tuned for proof-or-silence rather than style:
+//
+//   - * and <<: reported when the enclosure computation overflows AND
+//     an operand is cycle-tainted. Untracked index/buffer math stays
+//     silent no matter how unbounded.
+//   - +: reported only on finite evidence — both relevant endpoints
+//     known and their sum overflowing (interval.AddFiniteOverflow). A
+//     rail endpoint (∞ standing for "unbounded") is not evidence, or
+//     every `a+b` over two unknown ints would fire.
+//   - <<: shift-count range problems (negative, ≥ width) belong to
+//     shiftwidth; intoverflow only reports value overflow when the
+//     count itself is in range.
+//   - -, ++, -- are never reported: the repo's cycle arithmetic only
+//     grows quantities by addition and multiplication, and flagging
+//     decrements buys nothing but noise.
+var Intoverflow = &analysis.Analyzer{
+	Name: "intoverflow",
+	Doc:  "flags cycle arithmetic whose value range may overflow int64",
+	Run:  runIntoverflow,
+}
+
+func runIntoverflow(pass *analysis.Pass) error {
+	for _, fi := range intervalFuncs(pass) {
+		lat := fi.res.Lat
+		replayBlocks(fi, func(env interval.Env, _ *cfg.Block, n ast.Node) {
+			cfg.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.BinaryExpr:
+					checkOverflow(pass, lat, env, m.Op, m.X, m.Y, m.OpPos)
+				case *ast.AssignStmt:
+					if op, ok := opAssign(m.Tok); ok && len(m.Lhs) == 1 {
+						checkOverflow(pass, lat, env, op, m.Lhs[0], m.Rhs[0], m.TokPos)
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// opAssign maps the op-assign tokens intoverflow cares about to the
+// underlying operator.
+func opAssign(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.SHL_ASSIGN:
+		return token.SHL, true
+	}
+	return token.ILLEGAL, false
+}
+
+func checkOverflow(pass *analysis.Pass, lat *interval.EnvLattice, env interval.Env, op token.Token, xe, ye ast.Expr, pos token.Pos) {
+	switch op {
+	case token.ADD, token.MUL, token.SHL:
+	default:
+		return
+	}
+	if !intTyped(pass.TypesInfo, xe) || !intTyped(pass.TypesInfo, ye) {
+		return // string +, untyped shenanigans
+	}
+	a, _ := lat.Eval(env, xe)
+	b, _ := lat.Eval(env, ye)
+	iv, over, taint := lat.BinOp(env, op, xe, ye)
+	if !taint {
+		return
+	}
+	switch op {
+	case token.ADD:
+		if interval.AddFiniteOverflow(a, b) {
+			pass.Reportf(pos, "cycle addition may overflow int64: %s in %s + %s in %s; clamp or widen the guard first",
+				types.ExprString(xe), a, types.ExprString(ye), b)
+		}
+	case token.MUL:
+		if over {
+			pass.Reportf(pos, "cycle multiplication may overflow int64: %s in %s * %s in %s; guard with a division check (m > C/k) or clamp first",
+				types.ExprString(xe), a, types.ExprString(ye), b)
+		}
+	case token.SHL:
+		// Count-range problems are shiftwidth's finding; only report
+		// value overflow under an in-range count.
+		if b.IsEmpty() || b.Lo < 0 || b.Hi > 63 {
+			return
+		}
+		if over {
+			pass.Reportf(pos, "cycle shift may overflow int64: %s in %s << %s in %s; bound the operand before shifting",
+				types.ExprString(xe), a, types.ExprString(ye), b)
+		}
+	}
+	_ = iv
+}
+
+// intTyped reports whether e's static type is an integer.
+func intTyped(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestIntoverflow(t *testing.T) {
+	analysistest.Run(t, Intoverflow, "testdata/src/intoverflow", "repro/internal/lintfix/intoverflow")
+}
+
+// TestIntoverflowCalUSearchCapRegression pins the analyzer to the bug
+// that motivated it: the pre-clamp CalUSearchCap margin multiply. The
+// fixture reproduces the shipped (buggy) code shape; if intoverflow
+// ever stops reporting it, this test — and the lint-regression CI
+// step running it — fails.
+func TestIntoverflowCalUSearchCapRegression(t *testing.T) {
+	diags := analysistest.Run(t, Intoverflow, "testdata/src/intoverflow", "repro/internal/lintfix/intoverflow")
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "intoverflow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("intoverflow reported nothing on the pre-fix CalUSearchCap fixture")
+	}
+}

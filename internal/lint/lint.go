@@ -30,6 +30,19 @@
 //   - loopcapture: go/defer closures must not capture variables the
 //     function rewrites after the spawn point.
 //
+// The value-range analyzers run the interval abstract domain
+// (internal/lint/interval) over the same CFG/dataflow engine and prove
+// the cycle arithmetic — the quantities Cal_U multiplies and doubles —
+// overflow-safe:
+//
+//   - intoverflow: +, *, << on cycle-typed quantities whose range may
+//     exceed int64; the clamp and doubling-guard idioms are recognized
+//     and stay silent.
+//   - deadrange: branch conditions provably always true or always
+//     false — a dead guard is a misremembered invariant.
+//   - shiftwidth: shift counts that may reach the operand width or go
+//     negative.
+//
 // See docs/LINTING.md for the full rationale and suppression rules.
 package lint
 
@@ -49,14 +62,17 @@ func init() {
 	registry = []*analysis.Analyzer{
 		Atomicmix,
 		Crosslock,
+		Deadrange,
 		Detrand,
 		Directive,
 		Errdrop,
 		Floateq,
+		Intoverflow,
 		Lockorder,
 		Loopcapture,
 		Lostcancel,
 		Nilerr,
+		Shiftwidth,
 		Unlockpath,
 		Unsyncshared,
 	}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/interval"
+)
+
+// Shiftwidth flags shift counts the value-range analysis cannot keep
+// inside the operand's width: a count that may reach or exceed the
+// width yields 0 (or −1 for >> of a negative), and a count that may be
+// negative panics at runtime. Go permits both shapes at compile time
+// for non-constant counts — and for constant counts ≥ width on typed
+// operands too — so `slots << shift` with shift derived from a horizon
+// exponent is exactly the kind of latent zero the simulator's
+// buffer-size math must not produce.
+//
+// Both findings need finite evidence, mirroring intoverflow: an
+// unbounded count (rail endpoint) is not a finding, or every
+// `x << k` over an unknown int would fire. A count that is entirely
+// out of range (k.Hi < 0, or k.Lo ≥ width) is reported even when the
+// other endpoint is a rail — the range's feasible part is empty.
+//
+// `int` and `uint` are assumed 64-bit, like everywhere in the interval
+// tier (documented in docs/LINTING.md).
+var Shiftwidth = &analysis.Analyzer{
+	Name: "shiftwidth",
+	Doc:  "flags shift counts that may reach the operand width or go negative",
+	Run:  runShiftwidth,
+}
+
+func runShiftwidth(pass *analysis.Pass) error {
+	for _, fi := range intervalFuncs(pass) {
+		lat := fi.res.Lat
+		replayBlocks(fi, func(env interval.Env, _ *cfg.Block, n ast.Node) {
+			cfg.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.BinaryExpr:
+					if m.Op == token.SHL || m.Op == token.SHR {
+						checkShift(pass, lat, env, m.X, m.Y, m.OpPos)
+					}
+				case *ast.AssignStmt:
+					if (m.Tok == token.SHL_ASSIGN || m.Tok == token.SHR_ASSIGN) && len(m.Lhs) == 1 {
+						checkShift(pass, lat, env, m.Lhs[0], m.Rhs[0], m.TokPos)
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+func checkShift(pass *analysis.Pass, lat *interval.EnvLattice, env interval.Env, xe, ye ast.Expr, pos token.Pos) {
+	bits := interval.TypeBits(pass.TypesInfo.TypeOf(xe))
+	if bits == 0 {
+		return
+	}
+	k, _ := lat.Eval(env, ye)
+	if k.IsEmpty() {
+		return
+	}
+	switch {
+	case k.Hi < 0:
+		pass.Reportf(pos, "shift count %s in %s is always negative and panics at runtime",
+			types.ExprString(ye), k)
+	case k.Lo < 0 && k.Lo != interval.MinV:
+		pass.Reportf(pos, "shift count %s in %s may be negative and panic at runtime; clamp it below first",
+			types.ExprString(ye), k)
+	case k.Lo >= int64(bits):
+		pass.Reportf(pos, "shift count %s in %s always reaches the width of the %d-bit operand %s; the result is constant",
+			types.ExprString(ye), k, bits, types.ExprString(xe))
+	case k.Hi >= int64(bits) && k.Hi != interval.MaxV:
+		pass.Reportf(pos, "shift count %s in %s may reach the width of the %d-bit operand %s; bound it below %d",
+			types.ExprString(ye), k, bits, types.ExprString(xe), bits)
+	}
+}

@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestShiftwidth(t *testing.T) {
+	analysistest.Run(t, Shiftwidth, "testdata/src/shiftwidth", "repro/internal/lintfix/shiftwidth")
+}

@@ -15,7 +15,15 @@
 //     the time the caller continues);
 //   - Sorts: whether it calls a sort routine (sort.*, slices.Sort*) —
 //     the detrand analyzer uses this to recognise collect-then-sort
-//     helpers invoked from map-range bodies.
+//     helpers invoked from map-range bodies;
+//   - Ranges: conservative per-result value intervals for functions
+//     whose return statements yield constant-bounded integers — the
+//     interval tier reads them at call sites so `h := defaultHorizon()`
+//     starts bounded instead of Top. Unlike the lock facts, Ranges is
+//     purely direct (computed from the function's own return
+//     statements, never merged through call edges): propagating callee
+//     ranges through arbitrary arithmetic would need the full interval
+//     transfer machinery, which lives in the tier itself.
 //
 // Summaries are computed per SCC of the package-level condensation of
 // the call graph and cached per package: Invalidate(path) drops only
@@ -31,6 +39,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"sort"
@@ -39,6 +48,7 @@ import (
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/callgraph"
+	"repro/internal/lint/interval"
 )
 
 // maxChain bounds the recorded representative call chain; deeper
@@ -105,6 +115,23 @@ type FuncFacts struct {
 	// Sorts reports a call to a sorting routine somewhere in the
 	// function (transitively through non-goroutine calls).
 	Sorts bool
+	// Ranges, when non-nil, holds one conservative interval per result
+	// of the function: the union over every return statement of the
+	// result expression's constant value, Top for results no return
+	// bounds. Nil when the function has no results, uses naked or
+	// tuple-call returns, or bounds none of its results. Direct-only:
+	// mergeCall never touches it (see the package doc).
+	Ranges []interval.Interval
+}
+
+// ResultRange returns the conservative interval of result i and
+// whether the summary actually bounds it (a Top entry reports false).
+func (f *FuncFacts) ResultRange(i int) (interval.Interval, bool) {
+	if f == nil || i < 0 || i >= len(f.Ranges) {
+		return interval.Top(), false
+	}
+	r := f.Ranges[i]
+	return r, !r.IsTop()
 }
 
 // ReleasesClass reports whether the summary may release the class.
@@ -479,8 +506,86 @@ func (e *Engine) direct(n *callgraph.Node) *FuncFacts {
 		}
 		return true
 	})
+	f.Ranges = resultRanges(info, n.Decl)
 	normalize(f)
 	return f
+}
+
+// resultRanges computes the direct Ranges fact of one declared
+// function: per result position, the union over every top-level return
+// statement of the result expression's integer constant value (go/types
+// folds `MaxSearchHorizon / 2` and friends for us), Top where any
+// return yields a non-constant. Naked returns and single-call tuple
+// returns defeat the per-position mapping, so they drop the whole fact,
+// as does a function that bounds none of its results.
+func resultRanges(info *types.Info, decl *ast.FuncDecl) []interval.Interval {
+	results := decl.Type.Results
+	if results == nil || len(results.List) == 0 {
+		return nil
+	}
+	nres := 0
+	for _, field := range results.List {
+		if n := len(field.Names); n > 0 {
+			nres += n
+		} else {
+			nres++
+		}
+	}
+
+	ranges := make([]interval.Interval, nres)
+	for i := range ranges {
+		ranges[i] = interval.Empty() // no return seen yet
+	}
+	ok := true
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // a closure's returns are its own
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		if len(ret.Results) != nres {
+			ok = false // naked return or tuple-call return
+			return false
+		}
+		for i, expr := range ret.Results {
+			ranges[i] = interval.Union(ranges[i], constInterval(info, expr))
+		}
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	bounded := false
+	for i := range ranges {
+		if ranges[i].IsEmpty() { // no reachable return statement at all
+			ranges[i] = interval.Top()
+		}
+		if !ranges[i].IsTop() {
+			bounded = true
+		}
+	}
+	if !bounded {
+		return nil
+	}
+	return ranges
+}
+
+// constInterval returns the point interval of an integer constant
+// expression, Top otherwise.
+func constInterval(info *types.Info, expr ast.Expr) interval.Interval {
+	tv, found := info.Types[expr]
+	if !found || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return interval.Top()
+	}
+	if v, exact := constant.Int64Val(tv.Value); exact {
+		return interval.Point(v)
+	}
+	return interval.Top() // out of int64 range (big untyped / uint64)
 }
 
 // normalize dedups Acquires per (class, mode) keeping the shortest
@@ -563,6 +668,7 @@ func (e *Engine) Dump() []byte {
 		Acquires []effJSON `json:"acquires,omitempty"`
 		Releases []string  `json:"releases,omitempty"`
 		Sorts    bool      `json:"sorts,omitempty"`
+		Ranges   []string  `json:"ranges,omitempty"`
 	}
 	out := map[string]factsJSON{}
 	for _, n := range e.Graph.Nodes {
@@ -571,6 +677,9 @@ func (e *Engine) Dump() []byte {
 			continue
 		}
 		fj := factsJSON{Releases: f.Releases, Sorts: f.Sorts}
+		for _, r := range f.Ranges {
+			fj.Ranges = append(fj.Ranges, r.String())
+		}
 		for _, eff := range f.Acquires {
 			ej := effJSON{Class: eff.ClassKey, Mode: eff.Mode.String(), At: e.posString(eff.Pos)}
 			for _, step := range eff.Chain {

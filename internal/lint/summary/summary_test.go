@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/lint/interval"
 	"repro/internal/lint/linttest"
 )
 
@@ -311,5 +312,74 @@ func TestFuncOutsideModule(t *testing.T) {
 	var zero *FuncFacts
 	if zero.ReleasesClass("x") {
 		t.Errorf("nil FuncFacts claims to release")
+	}
+}
+
+// TestResultRanges pins the direct-only Ranges fact: constant returns
+// union per result position, go/types constant folding is visible,
+// unbounded shapes (naked return, tuple-call return, non-constant every
+// return) drop the fact, and call merging never propagates it.
+func TestResultRanges(t *testing.T) {
+	e := engineOver(t, map[string]map[string]string{
+		"fix/r": {"r.go": `package r
+
+const horizon = 1 << 21
+
+func twoPoints(c bool) int {
+	if c {
+		return 3
+	}
+	return horizon / 2
+}
+
+func mixed(c bool) (int, int) {
+	if c {
+		return 7, varying()
+	}
+	return 9, varying()
+}
+
+func varying() int { return len("xy") + cap([]int{}) }
+
+func naked() (n int) {
+	n = 5
+	return
+}
+
+func tuple() (int, int) { return mixed(true) }
+
+func caller(c bool) int { return twoPoints(c) }
+`},
+	})
+
+	f := e.Func(funcNamed(t, e, "fix/r.twoPoints"))
+	r, ok := f.ResultRange(0)
+	if !ok || r != interval.Of(3, 1<<20) {
+		t.Errorf("twoPoints range = %v ok=%v, want [3,%d]", r, ok, 1<<20)
+	}
+
+	f = e.Func(funcNamed(t, e, "fix/r.mixed"))
+	if r, ok := f.ResultRange(0); !ok || r != interval.Of(7, 9) {
+		t.Errorf("mixed result 0 = %v ok=%v, want [7,9]", r, ok)
+	}
+	if _, ok := f.ResultRange(1); ok {
+		t.Errorf("mixed result 1 must be unbounded (non-constant returns)")
+	}
+
+	for _, name := range []string{"naked", "tuple", "varying"} {
+		f := e.Func(funcNamed(t, e, "fix/r."+name))
+		if f.Ranges != nil {
+			t.Errorf("%s must carry no Ranges fact, got %v", name, f.Ranges)
+		}
+	}
+
+	// caller returns twoPoints(c) — a non-constant expression. Ranges is
+	// direct-only, so the callee's bound must NOT leak through the call.
+	f = e.Func(funcNamed(t, e, "fix/r.caller"))
+	if f.Ranges != nil {
+		t.Errorf("caller must carry no Ranges fact (no merge propagation), got %v", f.Ranges)
+	}
+	if _, ok := f.ResultRange(0); ok {
+		t.Errorf("ResultRange on a nil Ranges must report false")
 	}
 }

@@ -1,0 +1,74 @@
+// Package deadrange is the fixture for the deadrange analyzer:
+// branch conditions provably decided by the value-range analysis.
+package deadrange
+
+// debugChecks is a compile-time switch: constant conditions are
+// exempt, however decided they are.
+const debugChecks = 1
+
+// lenNonNegative: len is non-negative by construction, so the guard
+// re-checks an invariant that cannot fail.
+func lenNonNegative(s []int) int {
+	n := len(s)
+	if n >= 0 { // want `always true`
+		return 1
+	}
+	return 0
+}
+
+// clampThenRecheck: x was clamped two lines up; the recheck is dead.
+func clampThenRecheck(x int) int {
+	if x < 0 {
+		x = 0
+	}
+	if x < 0 { // want `always false`
+		return -1
+	}
+	return x
+}
+
+// nestedRefinement: the outer guard already proves the inner one.
+func nestedRefinement(n int) int {
+	if n > 10 {
+		if n > 5 { // want `always true`
+			return n
+		}
+	}
+	return 0
+}
+
+// constSwitch: both sides constant — compile-time configuration, not a
+// range bug, exempt by design.
+func constSwitch() int {
+	if debugChecks > 0 { // silent: constant-folded config switch
+		return 1
+	}
+	return 0
+}
+
+// genuinelyOpen: nothing provable about an unconstrained parameter.
+func genuinelyOpen(n int) int {
+	if n > 0 { // silent: undecided
+		return n
+	}
+	return -n
+}
+
+// loopCondLive: a loop condition that actually trips both ways.
+func loopCondLive() int {
+	s := 0
+	for i := 0; i < 3; i++ { // silent: [0,3] straddles the bound
+		s += i
+	}
+	return s
+}
+
+// suppressed shows the directive escape hatch.
+func suppressed(s []byte) int {
+	n := len(s)
+	//rtwlint:ignore deadrange -- fixture: exercising the suppression path
+	if n >= 0 {
+		return n
+	}
+	return 0
+}

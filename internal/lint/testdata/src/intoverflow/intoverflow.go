@@ -1,0 +1,133 @@
+// Package intoverflow is the fixture for the intoverflow analyzer:
+// cycle-typed arithmetic with and without range guards.
+package intoverflow
+
+// MaxSearchHorizon mirrors core.MaxSearchHorizon.
+const MaxSearchHorizon = 1 << 21
+
+// Mode mirrors the core element mode.
+type Mode int
+
+// Indirect mirrors core.Indirect.
+const Indirect Mode = 1
+
+// Element mirrors the fields CalUSearchCap reads.
+type Element struct {
+	Period int
+	Mode   Mode
+}
+
+// marginPreFix is the CalUSearchCap margin computation as it shipped
+// before the clamp landed: max period times (elements + 1), unguarded.
+// This is the committed regression fixture — intoverflow MUST keep
+// finding this overflow (see the lint-regression CI step).
+func marginPreFix(elems []Element) int {
+	margin := 0
+	for i := range elems {
+		if elems[i].Period > margin {
+			margin = elems[i].Period
+		}
+	}
+	margin *= len(elems) + 1 // want `cycle multiplication may overflow`
+	return margin
+}
+
+// marginFixed is the shipped fix: the division guard bounds the
+// product by MaxSearchHorizon, so the multiply is provably in range.
+func marginFixed(elems []Element) int {
+	margin := 0
+	for i := range elems {
+		if elems[i].Period > margin {
+			margin = elems[i].Period
+		}
+	}
+	if margin > MaxSearchHorizon/(len(elems)+1) {
+		margin = MaxSearchHorizon
+	} else {
+		margin *= len(elems) + 1 // silent: guarded by the division check
+	}
+	return margin
+}
+
+// doublingGuarded is the horizon-doubling idiom: the break above
+// maxHorizon/2 keeps h*2 inside int64.
+func doublingGuarded(maxHorizon int) int {
+	h := 1
+	for {
+		if h > maxHorizon/2 {
+			break
+		}
+		h *= 2 // silent: h <= maxHorizon/2
+	}
+	return h
+}
+
+// doublingUnguarded doubles a horizon forever; the product is
+// unbounded and cycle-tainted.
+func doublingUnguarded(horizon int, n int) int {
+	for i := 0; i < n; i++ {
+		horizon *= 2 // want `cycle multiplication may overflow`
+	}
+	return horizon
+}
+
+// addFiniteEvidence: both operands clamped to [0, 2^62], so the sum
+// provably can exceed int64 — finite evidence, reported.
+func addFiniteEvidence(period int64) int64 {
+	if period < 0 {
+		period = 0
+	}
+	if period > 1<<62 {
+		period = 1 << 62
+	}
+	return period + period // want `cycle addition may overflow`
+}
+
+// addRailSilent: unbounded + unbounded has no finite evidence; the +
+// rule stays silent rather than flagging every sum of unknown ints.
+func addRailSilent(period, deadline int64) int64 {
+	return period + deadline // silent: rail endpoints are not evidence
+}
+
+// untaintedSilent: the same unguarded multiply over quantities that
+// are not cycle-typed never fires — index math is out of scope.
+func untaintedSilent(counts []int) int {
+	total := 1
+	for i := range counts {
+		if counts[i] > total {
+			total = counts[i]
+		}
+	}
+	total *= len(counts) + 1 // silent: no cycle taint
+	return total
+}
+
+// shiftValueOverflow: the count is in range, the shifted value is not.
+func shiftValueOverflow(period int64) int64 {
+	return period << 8 // want `cycle shift may overflow`
+}
+
+// shiftGuarded: operand bounded first, so the shift stays in range.
+func shiftGuarded(period int64) int64 {
+	if period < 0 {
+		period = 0
+	}
+	if period > 1<<20 {
+		period = 1 << 20
+	}
+	return period << 8 // silent: period <= 2^20, shifted <= 2^28
+}
+
+// incDecSilent: ++ never fires; one step past a rail is not a finding.
+func incDecSilent(period int) int {
+	period++
+	return period
+}
+
+// suppressed shows the directive escape hatch wired through the shared
+// suppressor.
+func suppressed(period int) int {
+	//rtwlint:ignore intoverflow -- fixture: exercising the suppression path
+	period *= period
+	return period
+}

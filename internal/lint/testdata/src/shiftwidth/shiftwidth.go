@@ -1,0 +1,70 @@
+// Package shiftwidth is the fixture for the shiftwidth analyzer:
+// shift counts against their operand widths.
+package shiftwidth
+
+// constTooWide: Go compiles a 64-bit shift of a typed operand; the
+// result is always 0.
+func constTooWide(x int64) int64 {
+	return x << 64 // want `always reaches the width`
+}
+
+// constTooWide32: widths are per-type, not per-platform-word.
+func constTooWide32(x int32) int32 {
+	return x << 32 // want `always reaches the width`
+}
+
+// mayReachWidth: the count's range crosses the width with a finite
+// upper endpoint — reported as "may".
+func mayReachWidth(x int64, k int) int64 {
+	if k > 70 {
+		k = 70
+	}
+	if k < 0 {
+		k = 0
+	}
+	return x << k // want `may reach the width`
+}
+
+// alwaysNegative: the refined count is entirely negative.
+func alwaysNegative(x int64, k int) int64 {
+	if k < 0 {
+		return x >> k // want `always negative`
+	}
+	return 0
+}
+
+// mayBeNegative: finite negative low endpoint.
+func mayBeNegative(x int64, k int) int64 {
+	if k < -3 {
+		k = -3
+	}
+	if k > 5 {
+		k = 5
+	}
+	return x << k // want `may be negative`
+}
+
+// boundedOK: the classic exponent clamp keeps the count in range.
+func boundedOK(x uint64, k int) uint64 {
+	if k < 0 || k > 63 {
+		return 0
+	}
+	return x << k // silent: k in [0, 63]
+}
+
+// railSilent: an unbounded count is not finite evidence.
+func railSilent(x int64, k int) int64 {
+	return x << k // silent: k unconstrained, rails are not evidence
+}
+
+// opAssignChecked: the op-assign spelling is covered too.
+func opAssignChecked(x int64) int64 {
+	x <<= 64 // want `always reaches the width`
+	return x
+}
+
+// suppressed shows the directive escape hatch.
+func suppressed(x int64) int64 {
+	//rtwlint:ignore shiftwidth -- fixture: exercising the suppression path
+	return x << 64
+}

@@ -88,6 +88,7 @@ func responseTime(set *stream.Set, s *stream.Stream, known []int, horizon int) (
 	for iter := 0; iter < MaxIterations; iter++ {
 		next := s.Latency
 		for _, d := range direct {
+			//rtwlint:ignore intoverflow -- Shi/Burns ceiling term: r is re-bounded by the horizon check below on every iteration and t/l come from validated streams, so the product stays within horizon * max latency; bounding slice-element fields is outside the interval domain
 			next += ((r + d.jitter + d.t - 1) / d.t) * d.l
 		}
 		if next == r {

@@ -45,6 +45,15 @@ func TimingDiagramSVG(d *core.Diagram, title string, maxCols int) string {
 	if maxCols > 0 && maxCols < cols {
 		cols = maxCols
 	}
+	// A diagram horizon never exceeds the Cal_U search cap; clamping
+	// here makes that a local fact, so the pixel math below is provably
+	// inside int64 (and a corrupt diagram cannot blow up the SVG).
+	if cols < 0 {
+		cols = 0
+	}
+	if cols > core.MaxSearchHorizon {
+		cols = core.MaxSearchHorizon
+	}
 	rows := len(d.Elements) + 1
 	width := left + cols*cell + 20
 	height := top + rows*(cell+rowPad) + 50

@@ -170,7 +170,17 @@ func inflatePeriods(set *stream.Set, a *core.Analyzer, cfg Config) (*stream.Set,
 				s.Deadline = u
 				changed = true
 			} else if u < 0 {
-				s.Period *= 4
+				// Inflating past the search cap is pointless (the
+				// capped Cal_U search cannot use it) and the clamp
+				// keeps the quadrupling provably inside int64.
+				p := s.Period
+				if p < 1 {
+					p = 1
+				}
+				if p > core.MaxSearchHorizon/4 {
+					p = core.MaxSearchHorizon / 4
+				}
+				s.Period = p * 4
 				s.Deadline = s.Period
 				changed = true
 			}
